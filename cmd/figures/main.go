@@ -1,0 +1,73 @@
+// Command figures regenerates the paper's tables and figures from the
+// reproduction library. Each experiment prints an ASCII rendering of the
+// corresponding artifact plus its headline numbers.
+//
+//	figures -fig fig3 -trials 500 -instances 20
+//	figures -all
+//	figures -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	fig := flag.String("fig", "", "experiment id to run (fig3..fig21, table1, table2)")
+	all := flag.Bool("all", false, "run every experiment")
+	list := flag.Bool("list", false, "list experiment ids")
+	trials := flag.Int("trials", 0, "injection trials per campaign (0 = default 120)")
+	instances := flag.Int("instances", 0, "evaluation inputs per suite (0 = default 10)")
+	seed := flag.Uint64("seed", 0, "campaign seed (0 = default)")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	dir := flag.String("pretrained", "", "checkpoint directory (default: auto-locate)")
+	flag.Parse()
+
+	cfg := experiments.Config{
+		Trials: *trials, Instances: *instances, Seed: *seed,
+		Workers: *workers, Dir: *dir,
+	}
+
+	switch {
+	case *list:
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s (%s)\n", e.ID, e.Title, e.PaperRef)
+		}
+	case *all:
+		for _, e := range experiments.All() {
+			runOne(e, cfg)
+		}
+	case *fig != "":
+		e, err := experiments.Get(*fig)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runOne(e, cfg)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runOne(e experiments.Experiment, cfg experiments.Config) {
+	start := time.Now()
+	out, err := e.Run(cfg)
+	if err != nil {
+		log.Fatalf("%s: %v", e.ID, err)
+	}
+	fmt.Printf("\n================ %s — %s (%s) ================\n\n", out.ID, e.Title, e.PaperRef)
+	fmt.Println(out.Text)
+	if len(out.Keys) > 0 {
+		fmt.Println("key numbers:")
+		for _, k := range out.Keys {
+			fmt.Printf("  %-32s %.4f\n", k, out.Numbers[k])
+		}
+	}
+	fmt.Printf("(%.1fs)\n", time.Since(start).Seconds())
+}

@@ -1,0 +1,245 @@
+// Command llmfi runs a single statistical fault-injection campaign: one
+// model, one task suite, one fault model, N uniformly-sampled injection
+// trials — the building block the paper's 13M-injection study composes.
+//
+//	llmfi -suite gsm8k -model math-qwens -fault 2bits-mem -trials 1000
+//	llmfi -suite mmlu -model QwenS -fault 1bit-comp -trials 500
+//	llmfi -suite wmt16 -model wmt-alma -fault 2bits-comp -beams 6
+//	llmfi -suite wmt16-like -model moe -fault 2bits-mem -gate-only
+//	llmfi -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/gen"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/numerics"
+	"repro/internal/pretrained"
+	"repro/internal/report"
+	"repro/internal/tasks"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		suiteName = flag.String("suite", "gsm8k", "task suite: mmlu|arc|truthfulqa|winogrande|hellaswag|gsm8k|gsm8k-direct|wmt16|xlsum|squadv2|wmt16-like|squad-like")
+		modelName = flag.String("model", "math-qwens", "model: a checkpoint name (math-qwens, wmt-alma, ...), a profile (QwenS|LlamaS|FalconS), or 'moe'")
+		faultName = flag.String("fault", "2bits-mem", "fault model: 1bit-comp|2bits-comp|2bits-mem")
+		trials    = flag.Int("trials", 500, "number of injection trials")
+		instances = flag.Int("instances", 10, "evaluation inputs")
+		seed      = flag.Uint64("seed", 2025, "campaign seed")
+		beams     = flag.Int("beams", 1, "beam count (1 = greedy)")
+		gateOnly  = flag.Bool("gate-only", false, "inject only into MoE gate (router) layers")
+		reasoning = flag.Bool("reasoning-only", false, "restrict computational faults to reasoning tokens (math suites)")
+		dtypeName = flag.String("dtype", "", "override datatype for dense models: FP16|FP32|BF16")
+		dir       = flag.String("pretrained", "", "checkpoint directory (default: auto-locate)")
+		list      = flag.Bool("list", false, "list suites and models")
+		csvTrials = flag.String("csv", "", "write per-trial results to this CSV file")
+		csvSum    = flag.String("csv-summary", "", "write the aggregate summary to this CSV file")
+	)
+	flag.Parse()
+
+	if *list {
+		printInventory()
+		return
+	}
+
+	suite, err := buildSuite(*suiteName, *seed, *instances)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := buildModel(*modelName, suite, *seed, *dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *dtypeName != "" {
+		dt, err := parseDType(*dtypeName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if m, err = model.WithDType(m, dt); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fm, err := parseFault(*faultName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	c := core.Campaign{
+		Model: m, Suite: suite, Fault: fm,
+		Trials: *trials, Seed: *seed,
+		Gen:           gen.Settings{NumBeams: *beams},
+		ReasoningOnly: *reasoning,
+	}
+	if *gateOnly {
+		c.Filter = faults.GateOnly
+	}
+	res, err := c.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	printResult(res)
+	if *csvTrials != "" {
+		if err := writeCSV(*csvTrials, res, report.WriteTrialsCSV); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *csvSum != "" {
+		if err := writeCSV(*csvSum, res, report.WriteSummaryCSV); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// writeCSV writes a campaign export to path.
+func writeCSV(path string, res *core.Result, fn func(io.Writer, *core.Result) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f, res); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func buildSuite(name string, seed uint64, n int) (*tasks.Suite, error) {
+	switch name {
+	case "mmlu", "arc", "truthfulqa", "winogrande", "hellaswag":
+		return tasks.NewMCSuite(name, seed, n)
+	case "gsm8k":
+		return pretrained.MathTask().Suite(seed, n, true), nil
+	case "gsm8k-direct":
+		return pretrained.MathTask().Suite(seed, n, false), nil
+	case "wmt16":
+		return pretrained.TranslationTask().Suite(seed, n), nil
+	case "xlsum":
+		return pretrained.SummTask().Suite(seed, n), nil
+	case "squadv2":
+		return pretrained.QATask().Suite(seed, n), nil
+	case "wmt16-like":
+		return tasks.NewSelfRefSuite(name, seed, n, 8, 12,
+			[]metrics.Kind{metrics.KindBLEU, metrics.KindChrF}), nil
+	case "squad-like":
+		return tasks.NewSelfRefSuite(name, seed, n, 14, 6,
+			[]metrics.Kind{metrics.KindEM, metrics.KindF1}), nil
+	default:
+		return nil, fmt.Errorf("unknown suite %q (try -list)", name)
+	}
+}
+
+func buildModel(name string, suite *tasks.Suite, seed uint64, dir string) (*model.Model, error) {
+	switch name {
+	case "QwenS", "LlamaS", "FalconS", "moe":
+		vocab := tasks.GeneralVocab()
+		if suite.Vocab.Size() != vocab.Size() {
+			return nil, fmt.Errorf("profile models use the general vocabulary; suite %s needs a trained checkpoint (try -list)", suite.Name)
+		}
+		cfg := model.StandardConfig(name, vocab.Size(), numerics.BF16)
+		fam := model.LlamaS
+		switch name {
+		case "QwenS":
+			fam = model.QwenS
+		case "FalconS":
+			fam = model.FalconS
+		case "moe":
+			cfg = model.MoEConfig(cfg)
+		}
+		return model.Build(model.Spec{Config: cfg, Family: fam, Seed: seed + uint64(fam)})
+	default:
+		if dir == "" {
+			dir = pretrained.DefaultDir()
+		}
+		return pretrained.NewLoader(dir).Load(name)
+	}
+}
+
+func parseFault(name string) (faults.Model, error) {
+	for _, fm := range faults.Models {
+		if fm.String() == name {
+			return fm, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown fault model %q", name)
+}
+
+func parseDType(name string) (numerics.DType, error) {
+	switch strings.ToUpper(name) {
+	case "FP16":
+		return numerics.FP16, nil
+	case "FP32":
+		return numerics.FP32, nil
+	case "BF16":
+		return numerics.BF16, nil
+	default:
+		return 0, fmt.Errorf("unknown dtype %q", name)
+	}
+}
+
+func printResult(res *core.Result) {
+	c := res.Campaign
+	fmt.Printf("campaign: %s on %s under %v, %d trials, seed %d\n\n",
+		c.Model.Cfg.Name, c.Suite.Name, c.Fault, len(res.Trials), c.Seed)
+
+	fmt.Println("fault-free baseline:")
+	for _, k := range c.Suite.Metrics {
+		fmt.Printf("  %-12s %.4f\n", k, res.Baseline.MetricMeans[k])
+	}
+	fmt.Printf("  %-12s %.4f\n\n", "gold-acc", res.Baseline.GoldAccuracy)
+
+	t := report.NewTable("Metric", "P_fault", "NormPerf", "95% CI")
+	for _, k := range c.Suite.Metrics {
+		r := res.Normalized(k)
+		t.Row(string(k), res.MetricMean(k), r.Value, fmt.Sprintf("[%.4f, %.4f]", r.Lo, r.Hi))
+	}
+	fmt.Println(t.String())
+
+	tally := res.Tally()
+	fmt.Printf("outcomes: Masked %d (%.1f%%), SDC-subtle %d, SDC-distorted %d; fired %.1f%%\n",
+		tally.Masked, 100*res.MaskedRate(), tally.Subtle, tally.Distorted, 100*res.FiredRate())
+	if c.Model.Cfg.IsMoE() {
+		fmt.Printf("expert selection changed: %.1f%%\n", 100*res.ExpertChangedRate())
+	}
+
+	buckets := res.BitBreakdown()
+	if len(buckets) > 0 {
+		fmt.Println("\nSDCs by highest flipped bit:")
+		bt := report.NewTable("Bit", "Trials", "Subtle", "Distorted")
+		for _, b := range buckets {
+			bt.Row(b.Bit, b.Trials, b.Subtle, b.Distorted)
+		}
+		fmt.Println(bt.String())
+	}
+}
+
+func printInventory() {
+	fmt.Println("suites:")
+	for _, s := range []string{"mmlu", "arc", "truthfulqa", "winogrande", "hellaswag"} {
+		fmt.Printf("  %-12s multiple-choice, models: QwenS LlamaS FalconS moe\n", s)
+	}
+	fmt.Println("  gsm8k        generative math (+gsm8k-direct), models: math-qwens math-falcons")
+	fmt.Println("  wmt16        translation, models: wmt-qwens wmt-llamas wmt-alma")
+	fmt.Println("  xlsum        summarization, models: xlsum-llamas xlsum-qwens xlsum-summarizer")
+	fmt.Println("  squadv2      QA, models: squad-llamas squad-qwens squad-falcons")
+	fmt.Println("  wmt16-like   self-referential generative, models: QwenS LlamaS FalconS moe")
+	fmt.Println("  squad-like   self-referential generative, models: QwenS LlamaS FalconS moe")
+	fmt.Println("\ncheckpoints (run cmd/pretrain to (re)generate):")
+	for _, j := range pretrained.Jobs() {
+		ft := ""
+		if j.Base != "" {
+			ft = " (fine-tuned from " + j.Base + ")"
+		}
+		fmt.Printf("  %-18s task %s%s\n", j.Name, j.Task, ft)
+	}
+}

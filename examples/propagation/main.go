@@ -1,0 +1,29 @@
+// Propagation renders the fault-propagation traces of Figures 5 and 6:
+// how a memory fault corrupts one output column and then the whole next
+// tensor, versus how a computational fault stays confined to one row and
+// is squashed by RMSNorm.
+//
+//	go run ./examples/propagation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	for _, id := range []string{"fig5", "fig6"} {
+		e, err := experiments.Get(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out, err := e.Run(experiments.Config{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("=== %s ===\n%s\n", e.Title, out.Text)
+	}
+}

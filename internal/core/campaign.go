@@ -1,0 +1,272 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/faults"
+	"repro/internal/gen"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/outcome"
+	"repro/internal/prng"
+	"repro/internal/tasks"
+	"repro/internal/token"
+)
+
+// Campaign describes one statistical fault-injection configuration: a
+// model, a task suite, a fault model, and how many uniformly-sampled
+// injection trials to run.
+type Campaign struct {
+	Model  *model.Model
+	Suite  *tasks.Suite
+	Fault  faults.Model
+	Trials int
+	Seed   uint64
+	// Filter restricts the injectable layers (nil = all block linears;
+	// faults.GateOnly reproduces the Figure 15 gate-layer campaign).
+	Filter faults.TargetFilter
+	// Gen carries decoding settings (NumBeams; MaxNewTokens comes from
+	// each instance). Zero value = greedy with EOS stop.
+	Gen gen.Settings
+	// Check overrides the answer criterion (nil = DefaultChecker).
+	Check AnswerChecker
+	// ReasoningOnly restricts computational-fault iterations to the
+	// reasoning segment of the baseline output (the CoT study, §4.3.2).
+	ReasoningOnly bool
+	// Workers bounds the worker pool (0 = GOMAXPROCS). Each worker owns
+	// a model clone, so memory-fault flips never leak across trials.
+	Workers int
+	// Thresholds tunes the distortion classifier.
+	Thresholds outcome.Thresholds
+	// ExtraHook, when non-nil, supplies an additional forward hook
+	// installed for the baseline and for every trial AFTER the fault
+	// hook — the slot where deployed mitigations (e.g. range
+	// restriction, internal/mitigate) run, seeing the corrupted values
+	// exactly as real protection software would. The factory is invoked
+	// once per installation; share state through the closure if the
+	// mitigation needs campaign-wide counters.
+	ExtraHook func() model.Hook
+}
+
+// Trial is the outcome of one injection.
+type Trial struct {
+	Site     faults.Site
+	Instance int
+	// Fired reports whether the fault actually struck (a computational
+	// fault targeting an iteration past the end of generation does not).
+	Fired bool
+	// Outcome classifies the trial against the fault-free baseline.
+	Outcome outcome.Analysis
+	// AnswerOK is correctness against the gold reference.
+	AnswerOK bool
+	// Choice is the selected option (multiple-choice suites).
+	Choice int
+	// Metrics are the trial's quality scores.
+	Metrics map[metrics.Kind]float64
+	// ExpertChanged reports a different MoE expert-selection trace than
+	// the baseline (MoE greedy campaigns only).
+	ExpertChanged bool
+	// Steps is the decode-step count of the trial.
+	Steps int
+}
+
+// Result is a completed campaign.
+type Result struct {
+	Campaign Campaign
+	Baseline *Baseline
+	Trials   []Trial
+}
+
+// defaultGen returns the paper's default generation settings: greedy
+// decoding, EOS stop, specials banned.
+func defaultGen() gen.Settings {
+	return gen.Settings{NumBeams: 1, StopToken: token.EOS, BanSpecials: true}
+}
+
+// Run executes the campaign. Trials are distributed over a worker pool;
+// trial t derives its randomness from Split(t) of the campaign seed, so
+// results are bit-identical for any worker count.
+func (c Campaign) Run() (*Result, error) {
+	if c.Trials <= 0 {
+		return nil, fmt.Errorf("core: campaign needs Trials > 0")
+	}
+	if len(c.Suite.Instances) == 0 {
+		return nil, fmt.Errorf("core: suite %s has no instances", c.Suite.Name)
+	}
+	if c.Model.Cfg.MaxSeq < c.Suite.MaxSeqNeeded() {
+		return nil, fmt.Errorf("core: model %s context %d < suite %s need %d",
+			c.Model.Cfg.Name, c.Model.Cfg.MaxSeq, c.Suite.Name, c.Suite.MaxSeqNeeded())
+	}
+	check := c.Check
+	if check == nil {
+		check = DefaultChecker(c.Suite)
+	}
+	gs := c.Gen
+	if gs.NumBeams == 0 {
+		gs.NumBeams = 1
+	}
+	if gs.StopToken == 0 {
+		gs.StopToken = token.EOS
+		gs.BanSpecials = true
+	}
+
+	if c.ExtraHook != nil {
+		c.Model.AddHook(c.ExtraHook())
+	}
+	baseline := EvalBaseline(c.Model, c.Suite, gs, check)
+	if c.ExtraHook != nil {
+		c.Model.ClearHooks()
+	}
+
+	workers := c.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > c.Trials {
+		workers = c.Trials
+	}
+
+	// Validate the target filter once up front so configuration errors
+	// surface before any work starts.
+	if _, err := faults.NewSampler(c.Model, c.Filter); err != nil {
+		return nil, err
+	}
+
+	res := &Result{Campaign: c, Baseline: baseline, Trials: make([]Trial, c.Trials)}
+	seedSrc := prng.New(c.Seed ^ 0xca3b417a)
+	// The jobs channel is pre-filled and closed before workers start, so
+	// a worker that stops on an error never strands a blocked producer.
+	jobs := make(chan int, c.Trials)
+	for t := 0; t < c.Trials; t++ {
+		jobs <- t
+	}
+	close(jobs)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			wm := c.Model.Clone()
+			sampler, err := faults.NewSampler(wm, c.Filter)
+			if err != nil {
+				errs <- err
+				return
+			}
+			for t := range jobs {
+				trial, err := c.runTrial(wm, sampler, seedSrc.Split(uint64(t)), t, baseline, gs, check)
+				if err != nil {
+					errs <- err
+					return
+				}
+				res.Trials[t] = trial
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return nil, err
+	default:
+	}
+	return res, nil
+}
+
+// runTrial performs one injection on the worker's model clone.
+func (c Campaign) runTrial(wm *model.Model, sampler *faults.Sampler, src *prng.Source, t int, baseline *Baseline, gs gen.Settings, check AnswerChecker) (Trial, error) {
+	idx := t % len(c.Suite.Instances)
+	inst := c.Suite.Instances[idx]
+	base := &baseline.Instances[idx]
+
+	// Effective reference: gold, or the fault-free output (self-relative).
+	if inst.Reference == "" {
+		inst.Reference = base.Reference
+	}
+
+	maxIters, promptLen := c.faultWindow(&inst, base)
+	site := sampler.Sample(src, c.Fault, maxIters)
+
+	inj, err := faults.Arm(wm, site, promptLen)
+	if err != nil {
+		return Trial{}, err
+	}
+	if c.ExtraHook != nil {
+		// Mitigations observe values after the fault hook mutated them.
+		wm.AddHook(c.ExtraHook())
+	}
+	ib := evalInstance(wm, c.Suite, &inst, gs, check, false)
+	fired := inj.Fired
+	inj.Disarm()
+	wm.ClearHooks()
+
+	trial := Trial{
+		Site:     site,
+		Instance: idx,
+		Fired:    fired,
+		AnswerOK: ib.AnswerOK,
+		Choice:   ib.Choice,
+		Metrics:  ib.Metrics,
+		Steps:    ib.Steps,
+	}
+	if c.Suite.Type == tasks.MultipleChoice {
+		masked := ib.Choice == base.Choice
+		trial.Outcome = outcome.Analysis{Changed: !masked}
+		if !masked {
+			trial.Outcome.Class = outcome.SDCSubtle
+		}
+		return trial, nil
+	}
+
+	trial.Outcome = outcome.Classify(ib.Tokens, base.Tokens, ib.AnswerOK, c.Thresholds)
+	if wm.Cfg.IsMoE() && gs.NumBeams <= 1 {
+		trial.ExpertChanged = !expertTraceEqual(ib.ExpertTrace, base.ExpertTrace)
+	}
+	return trial, nil
+}
+
+// faultWindow returns the iteration window and the Arm promptLen for an
+// instance: computational faults on generative tasks strike a uniformly
+// random generation iteration within the baseline's actual output length
+// (§3.2 "randomly choose a single token generation iteration");
+// multiple-choice scoring has no generation, so the transient may strike
+// during any token of the scoring passes.
+func (c Campaign) faultWindow(inst *tasks.Instance, base *InstanceBaseline) (maxIters, promptLen int) {
+	if c.Suite.Type == tasks.MultipleChoice {
+		longest := 0
+		for _, o := range inst.Options {
+			if len(o) > longest {
+				longest = len(o)
+			}
+		}
+		return len(inst.Prompt) + longest, 0
+	}
+	n := len(base.Tokens)
+	if c.ReasoningOnly && base.ReasoningLen > 0 {
+		n = base.ReasoningLen
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n, len(inst.Prompt)
+}
+
+// expertTraceEqual compares two per-block expert selection traces.
+func expertTraceEqual(a, b [][]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}

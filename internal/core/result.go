@@ -1,0 +1,185 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/metrics"
+	"repro/internal/outcome"
+	"repro/internal/stats"
+)
+
+// MetricMean returns the mean of a metric over all trials — the
+// P_fault_injected numerator.
+func (r *Result) MetricMean(kind metrics.Kind) float64 {
+	var sum float64
+	n := 0
+	for _, t := range r.Trials {
+		if v, ok := t.Metrics[kind]; ok {
+			sum += v
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Normalized returns the normalized performance for a metric with its
+// Katz log-transform 95% interval (§3.3.3).
+func (r *Result) Normalized(kind metrics.Kind) stats.Ratio {
+	return stats.NormalizedPerformance(
+		r.MetricMean(kind), r.Baseline.MetricMeans[kind],
+		len(r.Trials), len(r.Baseline.Instances))
+}
+
+// PrimaryMetric returns the suite's first metric kind.
+func (r *Result) PrimaryMetric() metrics.Kind {
+	return r.Campaign.Suite.Metrics[0]
+}
+
+// NormalizedPrimary is Normalized over the suite's primary metric.
+func (r *Result) NormalizedPrimary() stats.Ratio {
+	return r.Normalized(r.PrimaryMetric())
+}
+
+// MeanNormalized averages the normalized performance over every metric
+// of the suite (the per-task bars of Figure 3 average a task's metrics).
+func (r *Result) MeanNormalized() float64 {
+	var sum float64
+	for _, k := range r.Campaign.Suite.Metrics {
+		sum += r.Normalized(k).Value
+	}
+	return sum / float64(len(r.Campaign.Suite.Metrics))
+}
+
+// Tally returns the outcome class counts.
+func (r *Result) Tally() outcome.Tally {
+	var t outcome.Tally
+	for _, tr := range r.Trials {
+		t.Add(tr.Outcome)
+	}
+	return t
+}
+
+// MaskedRate is the fraction of trials whose answer matched the
+// fault-free execution (the Masked outcome of §3.2).
+func (r *Result) MaskedRate() float64 {
+	t := r.Tally()
+	if t.Total() == 0 {
+		return 0
+	}
+	return float64(t.Masked) / float64(t.Total())
+}
+
+// FiredRate is the fraction of trials whose fault actually struck.
+func (r *Result) FiredRate() float64 {
+	n := 0
+	for _, t := range r.Trials {
+		if t.Fired {
+			n++
+		}
+	}
+	return float64(n) / float64(len(r.Trials))
+}
+
+// ExpertChangedRate is the fraction of trials whose MoE expert-selection
+// trace changed (Figure 15's first bar).
+func (r *Result) ExpertChangedRate() float64 {
+	n := 0
+	for _, t := range r.Trials {
+		if t.ExpertChanged {
+			n++
+		}
+	}
+	return float64(n) / float64(len(r.Trials))
+}
+
+// OutputChangedRate is the fraction of trials whose output tokens changed
+// relative to the baseline.
+func (r *Result) OutputChangedRate() float64 {
+	n := 0
+	for _, t := range r.Trials {
+		if t.Outcome.Changed {
+			n++
+		}
+	}
+	return float64(n) / float64(len(r.Trials))
+}
+
+// BitBucket aggregates outcomes of trials grouped by the highest flipped
+// bit position (Figures 9–10).
+type BitBucket struct {
+	Bit       int
+	Trials    int
+	Subtle    int
+	Distorted int
+}
+
+// BitBreakdown returns per-bit-position outcome buckets sorted by bit.
+func (r *Result) BitBreakdown() []BitBucket {
+	byBit := map[int]*BitBucket{}
+	for _, t := range r.Trials {
+		hb := t.Site.HighestBit()
+		b := byBit[hb]
+		if b == nil {
+			b = &BitBucket{Bit: hb}
+			byBit[hb] = b
+		}
+		b.Trials++
+		switch t.Outcome.Class {
+		case outcome.SDCSubtle:
+			b.Subtle++
+		case outcome.SDCDistorted:
+			b.Distorted++
+		}
+	}
+	out := make([]BitBucket, 0, len(byBit))
+	for _, b := range byBit {
+		out = append(out, *b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Bit < out[j].Bit })
+	return out
+}
+
+// BitProportions returns, per bit position, the share of all SDCs of the
+// given class contributed by that bit — the y-axis of Figures 9–10.
+func (r *Result) BitProportions(class outcome.Class) map[int]float64 {
+	total := 0
+	counts := map[int]int{}
+	for _, t := range r.Trials {
+		if t.Outcome.Class != class {
+			continue
+		}
+		counts[t.Site.HighestBit()]++
+		total++
+	}
+	out := make(map[int]float64, len(counts))
+	for bit, n := range counts {
+		if total > 0 {
+			out[bit] = float64(n) / float64(total)
+		}
+	}
+	return out
+}
+
+// MeanSteps returns the average decode-step count per trial (the runtime
+// proxy of Figure 19).
+func (r *Result) MeanSteps() float64 {
+	var sum float64
+	for _, t := range r.Trials {
+		sum += float64(t.Steps)
+	}
+	return sum / float64(len(r.Trials))
+}
+
+// GoldAccuracy is the trial accuracy against gold answers.
+func (r *Result) GoldAccuracy() float64 {
+	n := 0
+	for _, t := range r.Trials {
+		if t.AnswerOK {
+			n++
+		}
+	}
+	return float64(n) / float64(len(r.Trials))
+}

@@ -1,0 +1,123 @@
+// Package experiments implements every table and figure of the paper's
+// evaluation as a runnable experiment: each one assembles the models,
+// task suites, and fault-injection campaigns it needs, runs them, and
+// renders the result as text plus a set of named key numbers used by
+// EXPERIMENTS.md to compare against the paper.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/pretrained"
+)
+
+// Config scales an experiment run. Zero fields take defaults.
+type Config struct {
+	// Trials is the number of fault injections per campaign (the paper
+	// uses 500–3000; figures here default to 120 for tractable CPU runs
+	// — raise via cmd/figures -trials for tighter intervals).
+	Trials int
+	// Instances is the evaluation-subset size per suite (paper: 100
+	// tinyBenchmarks inputs; default 10).
+	Instances int
+	Seed      uint64
+	Workers   int
+	// Dir is the pretrained-checkpoint directory ("" = auto-locate).
+	Dir string
+}
+
+func (c Config) withDefaults() Config {
+	if c.Trials == 0 {
+		c.Trials = 120
+	}
+	if c.Instances == 0 {
+		c.Instances = 10
+	}
+	if c.Seed == 0 {
+		c.Seed = 2025
+	}
+	if c.Dir == "" {
+		c.Dir = pretrained.DefaultDir()
+	}
+	return c
+}
+
+// loader returns the checkpoint loader for the config.
+func (c Config) loader() *pretrained.Loader {
+	return pretrained.NewLoader(c.Dir)
+}
+
+// Outcome is a completed experiment.
+type Outcome struct {
+	ID    string
+	Title string
+	// Text is the rendered figure/table.
+	Text string
+	// Numbers holds the headline quantities, keyed "<id>.<name>", for the
+	// paper-vs-measured records in EXPERIMENTS.md.
+	Numbers map[string]float64
+	// Keys preserves insertion order of Numbers.
+	Keys []string
+}
+
+func newOutcome(id, title string) *Outcome {
+	return &Outcome{ID: id, Title: title, Numbers: map[string]float64{}}
+}
+
+func (o *Outcome) set(name string, v float64) {
+	key := o.ID + "." + name
+	if _, dup := o.Numbers[key]; !dup {
+		o.Keys = append(o.Keys, key)
+	}
+	o.Numbers[key] = v
+}
+
+// Experiment binds a paper artifact to its reproduction.
+type Experiment struct {
+	ID       string // "table1", "fig3", ...
+	Title    string
+	PaperRef string // section / observation reference
+	Run      func(Config) (*Outcome, error)
+}
+
+var (
+	regMu    sync.Mutex
+	registry = map[string]Experiment{}
+	order    []string
+)
+
+func register(e Experiment) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[e.ID]; dup {
+		panic("experiments: duplicate id " + e.ID)
+	}
+	registry[e.ID] = e
+	order = append(order, e.ID)
+}
+
+// Get returns the experiment with the given id.
+func Get(id string) (Experiment, error) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	e, ok := registry[id]
+	if !ok {
+		ids := append([]string(nil), order...)
+		sort.Strings(ids)
+		return Experiment{}, fmt.Errorf("experiments: unknown id %q (have %v)", id, ids)
+	}
+	return e, nil
+}
+
+// All returns every experiment in registration (paper) order.
+func All() []Experiment {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make([]Experiment, 0, len(order))
+	for _, id := range order {
+		out = append(out, registry[id])
+	}
+	return out
+}

@@ -1,0 +1,330 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/model"
+	"repro/internal/numerics"
+	"repro/internal/report"
+	"repro/internal/tasks"
+)
+
+// gridRow is one (suite, model, fault-model) campaign of the Figure 3
+// grid.
+type gridRow struct {
+	Suite   string
+	Type    tasks.Type
+	Model   string
+	Fault   faults.Model
+	Res     *core.Result
+	NormAvg float64 // mean normalized performance over the suite metrics
+}
+
+var (
+	gridMu    sync.Mutex
+	gridCache = map[string][]gridRow{}
+)
+
+// overallGrid runs (or returns the cached) full characterization grid:
+// every suite × its Table 1 models × all three fault models.
+func overallGrid(cfg Config) ([]gridRow, error) {
+	key := fmt.Sprintf("%d/%d/%d", cfg.Trials, cfg.Instances, cfg.Seed)
+	gridMu.Lock()
+	if rows, ok := gridCache[key]; ok {
+		gridMu.Unlock()
+		return rows, nil
+	}
+	gridMu.Unlock()
+
+	var rows []gridRow
+
+	// Multiple-choice suites × profile models.
+	profs, err := mcModels(cfg)
+	if err != nil {
+		return nil, err
+	}
+	suites, err := mcSuites(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, suite := range suites {
+		for _, fam := range model.Families {
+			for _, fm := range faults.Models {
+				res, err := core.Campaign{
+					Model: profs[fam], Suite: suite, Fault: fm,
+					Trials: cfg.Trials, Seed: cfg.Seed ^ hash2(suite.Name, fam.String(), fm.String()),
+					Workers: cfg.Workers,
+				}.Run()
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, gridRow{
+					Suite: suite.Name, Type: suite.Type, Model: fam.String(),
+					Fault: fm, Res: res, NormAvg: mcNormalized(res),
+				})
+			}
+		}
+	}
+
+	// Generative suites × trained checkpoints.
+	genModels, genSuites, err := generativeRoster(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, sname := range generativeOrder {
+		suite := genSuites[sname]
+		for _, nm := range genModels[sname] {
+			for _, fm := range faults.Models {
+				res, err := core.Campaign{
+					Model: nm.Model, Suite: suite, Fault: fm,
+					Trials: cfg.Trials, Seed: cfg.Seed ^ hash2(sname, nm.Display, fm.String()),
+					Workers: cfg.Workers,
+				}.Run()
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, gridRow{
+					Suite: sname, Type: suite.Type, Model: nm.Display,
+					Fault: fm, Res: res, NormAvg: res.MeanNormalized(),
+				})
+			}
+		}
+	}
+
+	gridMu.Lock()
+	gridCache[key] = rows
+	gridMu.Unlock()
+	return rows, nil
+}
+
+// mcNormalized returns the normalized performance of a multiple-choice
+// campaign. The paper normalizes accuracy against gold answers; with the
+// untrained profile models the gold-referenced ratio is dominated by
+// chance-level noise, so the library reports the Masked rate — the
+// fraction of trials whose chosen option matched the fault-free choice,
+// which equals normalized accuracy in the limit where the fault-free
+// model is the reference oracle. The gold-referenced ratio remains
+// available via Res.Normalized(KindAccuracy).
+func mcNormalized(res *core.Result) float64 {
+	return res.MaskedRate()
+}
+
+// hash2 folds strings into a seed component.
+func hash2(parts ...string) uint64 {
+	var h uint64 = 14695981039346656037
+	for _, p := range parts {
+		for i := 0; i < len(p); i++ {
+			h ^= uint64(p[i])
+			h *= 1099511628211
+		}
+		h ^= 0xff
+		h *= 1099511628211
+	}
+	return h
+}
+
+func init() {
+	register(Experiment{
+		ID:       "table1",
+		Title:    "Table 1: Selected LLM workloads and metrics",
+		PaperRef: "§3.3",
+		Run:      runTable1,
+	})
+	register(Experiment{
+		ID:       "table2",
+		Title:    "Table 2: Format of floating-point data types",
+		PaperRef: "§4.3.3",
+		Run:      runTable2,
+	})
+	register(Experiment{
+		ID:       "fig3",
+		Title:    "Figure 3: LLM performance change after fault injection (all tasks/models/faults)",
+		PaperRef: "§4.1",
+		Run:      runFig3,
+	})
+	register(Experiment{
+		ID:       "fig4",
+		Title:    "Figure 4: Average performance change under different fault models",
+		PaperRef: "Observation #1",
+		Run:      runFig4,
+	})
+	register(Experiment{
+		ID:       "fig11",
+		Title:    "Figure 11: Performance change per downstream task",
+		PaperRef: "Observation #2",
+		Run:      runFig11,
+	})
+}
+
+func runTable1(cfg Config) (*Outcome, error) {
+	cfg = cfg.withDefaults()
+	o := newOutcome("table1", "Selected LLM workloads and metrics")
+	t := report.NewTable("Task", "Dataset (surrogate)", "Type", "Metrics", "Models")
+	suites, err := mcSuites(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range suites {
+		t.Row("understanding/reasoning", s.Dataset+" → "+s.Name, s.Type.String(),
+			kindList(s), "QwenS, LlamaS, FalconS")
+	}
+	genModels, genSuites, err := generativeRoster(cfg)
+	if err != nil {
+		return nil, err
+	}
+	taskNames := map[string]string{
+		"gsm8k": "Math", "wmt16": "Translation",
+		"xlsum": "Summarization", "squadv2": "Question Answering",
+	}
+	for _, sname := range generativeOrder {
+		s := genSuites[sname]
+		names := ""
+		for i, nm := range genModels[sname] {
+			if i > 0 {
+				names += ", "
+			}
+			names += nm.Display
+		}
+		t.Row(taskNames[sname], s.Dataset+" → "+s.Name, s.Type.String(), kindList(s), names)
+	}
+	o.Text = t.String()
+	o.set("suites", float64(len(suites)+len(genSuites)))
+	return o, nil
+}
+
+func kindList(s *tasks.Suite) string {
+	out := ""
+	for i, k := range s.Metrics {
+		if i > 0 {
+			out += ", "
+		}
+		out += string(k)
+	}
+	return out
+}
+
+func runTable2(cfg Config) (*Outcome, error) {
+	o := newOutcome("table2", "Format of floating-point data types")
+	t := report.NewTable("Format", "Total Bits", "Exp Bits", "Mantissa Bits", "Max Finite", "Smallest Normal")
+	for _, dt := range []numerics.DType{numerics.FP16, numerics.FP32, numerics.BF16} {
+		t.Row(dt.String(), dt.Bits(), dt.ExponentBits(), dt.MantissaBits(),
+			fmt.Sprintf("%.4g", dt.MaxFinite()), fmt.Sprintf("%.4g", dt.SmallestNormal()))
+		o.set(dt.String()+".expbits", float64(dt.ExponentBits()))
+	}
+	o.Text = t.String()
+	return o, nil
+}
+
+func runFig3(cfg Config) (*Outcome, error) {
+	cfg = cfg.withDefaults()
+	rows, err := overallGrid(cfg)
+	if err != nil {
+		return nil, err
+	}
+	o := newOutcome("fig3", "Normalized performance after fault injection")
+	t := report.NewTable("Suite", "Model", "Fault", "NormPerf", "95% CI", "Masked", "SDCs", "GoldAcc")
+	var minNorm float64 = 2
+	minLabel := ""
+	for _, r := range rows {
+		ratio := r.Res.NormalizedPrimary()
+		tally := r.Res.Tally()
+		t.Row(r.Suite, r.Model, r.Fault.String(), r.NormAvg,
+			fmt.Sprintf("[%.3f, %.3f]", ratio.Lo, ratio.Hi),
+			tally.Masked, tally.Subtle+tally.Distorted,
+			r.Res.GoldAccuracy())
+		if r.NormAvg < minNorm {
+			minNorm, minLabel = r.NormAvg, fmt.Sprintf("%s/%s/%v", r.Suite, r.Model, r.Fault)
+		}
+	}
+	o.Text = t.String() + fmt.Sprintf("\nworst case: %s at %.4f (paper: max degradation 13.09%%, Qwen2.5 GSM8k mem)\n", minLabel, minNorm)
+	var sum float64
+	for _, r := range rows {
+		sum += r.NormAvg
+	}
+	o.set("mean_norm", sum/float64(len(rows)))
+	o.set("worst_norm", minNorm)
+	return o, nil
+}
+
+func runFig4(cfg Config) (*Outcome, error) {
+	cfg = cfg.withDefaults()
+	rows, err := overallGrid(cfg)
+	if err != nil {
+		return nil, err
+	}
+	o := newOutcome("fig4", "Average performance change per fault model")
+	sums := map[faults.Model]float64{}
+	counts := map[faults.Model]int{}
+	for _, r := range rows {
+		sums[r.Fault] += r.NormAvg
+		counts[r.Fault]++
+	}
+	labels := make([]string, 0, 3)
+	values := make([]float64, 0, 3)
+	for _, fm := range faults.Models {
+		avg := sums[fm] / float64(counts[fm])
+		labels = append(labels, fm.String())
+		values = append(values, avg)
+		o.set(fm.String(), avg)
+	}
+	o.Text = report.BarChart(labels, values, min64(values)*0.98, 1.0) +
+		"\nExpected shape (Obs #1): memory faults degrade more than computational faults.\n" +
+		fmt.Sprintf("mem-vs-comp gap: %.4f\n", (values[0]+values[1])/2-values[2])
+	return o, nil
+}
+
+func runFig11(cfg Config) (*Outcome, error) {
+	cfg = cfg.withDefaults()
+	rows, err := overallGrid(cfg)
+	if err != nil {
+		return nil, err
+	}
+	o := newOutcome("fig11", "Performance change per downstream task")
+	sums := map[string]float64{}
+	counts := map[string]int{}
+	types := map[string]tasks.Type{}
+	var order []string
+	for _, r := range rows {
+		if counts[r.Suite] == 0 {
+			order = append(order, r.Suite)
+		}
+		sums[r.Suite] += r.NormAvg
+		counts[r.Suite]++
+		types[r.Suite] = r.Type
+	}
+	t := report.NewTable("Suite", "Type", "MeanNormPerf", "Degradation%")
+	var mcSum, genSum float64
+	var mcN, genN int
+	for _, s := range order {
+		avg := sums[s] / float64(counts[s])
+		t.Row(s, types[s].String(), avg, (1-avg)*100)
+		o.set(s, avg)
+		if types[s] == tasks.MultipleChoice {
+			mcSum += avg
+			mcN++
+		} else {
+			genSum += avg
+			genN++
+		}
+	}
+	mcAvg, genAvg := mcSum/float64(mcN), genSum/float64(genN)
+	o.set("mc_avg", mcAvg)
+	o.set("gen_avg", genAvg)
+	o.Text = t.String() + fmt.Sprintf(
+		"\nmultiple-choice avg %.4f vs generative avg %.4f (paper: MC -1.65%% vs generative -3.2%%)\n",
+		mcAvg, genAvg)
+	return o, nil
+}
+
+func min64(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/numerics"
+	"repro/internal/outcome"
+	"repro/internal/pretrained"
+	"repro/internal/report"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "fig8",
+		Title:    "Figure 8: SDC breakdown into distorted and subtly wrong outputs (GSM8k)",
+		PaperRef: "§4.1.1",
+		Run:      runFig8,
+	})
+	register(Experiment{
+		ID:       "fig9",
+		Title:    "Figure 9: Subtly-wrong outputs grouped by highest flipped bit",
+		PaperRef: "§4.1.1",
+		Run:      runFig9,
+	})
+	register(Experiment{
+		ID:       "fig10",
+		Title:    "Figure 10: Distorted outputs grouped by highest flipped bit",
+		PaperRef: "§4.1.1",
+		Run:      runFig10,
+	})
+}
+
+// sdcGrid runs the GSM8k campaigns behind Figures 8–10: both math models
+// under computational and memory faults.
+type sdcRow struct {
+	Model string
+	Fault faults.Model
+	Res   *core.Result
+}
+
+var (
+	sdcMu    sync.Mutex
+	sdcCache = map[string][]sdcRow{}
+)
+
+func sdcGrid(cfg Config) ([]sdcRow, error) {
+	key := fmt.Sprintf("%d/%d/%d", cfg.Trials, cfg.Instances, cfg.Seed)
+	sdcMu.Lock()
+	if rows, ok := sdcCache[key]; ok {
+		sdcMu.Unlock()
+		return rows, nil
+	}
+	sdcMu.Unlock()
+
+	loader := cfg.loader()
+	suite := pretrained.MathTask().Suite(cfg.Seed, cfg.Instances, true)
+	var rows []sdcRow
+	for _, entry := range []struct{ disp, ckpt string }{
+		{"Qwen2.5-S", "math-qwens"},
+		{"Falcon3-S", "math-falcons"},
+	} {
+		m, err := loader.Load(entry.ckpt)
+		if err != nil {
+			return nil, err
+		}
+		for _, fm := range []faults.Model{faults.Comp2Bit, faults.Mem2Bit} {
+			res, err := core.Campaign{
+				Model: m, Suite: suite, Fault: fm,
+				Trials:  cfg.Trials * 2, // Figures 8-10 need SDC counts, not just means
+				Seed:    cfg.Seed ^ hash2("sdc", entry.disp, fm.String()),
+				Workers: cfg.Workers,
+			}.Run()
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, sdcRow{Model: entry.disp, Fault: fm, Res: res})
+		}
+	}
+	sdcMu.Lock()
+	sdcCache[key] = rows
+	sdcMu.Unlock()
+	return rows, nil
+}
+
+func runFig8(cfg Config) (*Outcome, error) {
+	cfg = cfg.withDefaults()
+	rows, err := sdcGrid(cfg)
+	if err != nil {
+		return nil, err
+	}
+	o := newOutcome("fig8", "SDC breakdown (distorted vs subtly wrong)")
+	t := report.NewTable("Model", "Fault", "Trials", "Masked%", "Subtle%", "Distorted%", "Distorted/SDC%")
+	for _, r := range rows {
+		tally := r.Res.Tally()
+		n := float64(tally.Total())
+		sdc := float64(tally.Subtle + tally.Distorted)
+		distOfSDC := 0.0
+		if sdc > 0 {
+			distOfSDC = float64(tally.Distorted) / sdc * 100
+		}
+		t.Row(r.Model, r.Fault.String(), tally.Total(),
+			100*float64(tally.Masked)/n, 100*float64(tally.Subtle)/n,
+			100*float64(tally.Distorted)/n, distOfSDC)
+		key := fmt.Sprintf("%s.%v.distorted_frac", r.Model, r.Fault)
+		o.set(key, float64(tally.Distorted)/n)
+	}
+	o.Text = t.String() + "\nExpected shape: subtly wrong outputs dominate SDCs; distorted outputs\n" +
+		"are far more frequent under memory faults than computational faults\n" +
+		"(paper: 13.28% of memory-fault outputs distorted vs 0.89-1.21% comp).\n"
+	return o, nil
+}
+
+// bitFigure renders the per-bit-position proportion figure for a class.
+func bitFigure(cfg Config, class outcome.Class, id, title string) (*Outcome, error) {
+	rows, err := sdcGrid(cfg)
+	if err != nil {
+		return nil, err
+	}
+	o := newOutcome(id, title)
+	var b strings.Builder
+	dt := numerics.BF16
+	for _, r := range rows {
+		props := r.Res.BitProportions(class)
+		if len(props) == 0 {
+			fmt.Fprintf(&b, "%s / %v: no %v outputs at this budget\n\n", r.Model, r.Fault, class)
+			continue
+		}
+		fmt.Fprintf(&b, "%s / %v (share of all %v outputs by highest flipped bit):\n", r.Model, r.Fault, class)
+		bits := make([]int, 0, len(props))
+		for bit := range props {
+			bits = append(bits, bit)
+		}
+		sort.Ints(bits)
+		for _, bit := range bits {
+			fmt.Fprintf(&b, "  bit %2d (%-8s) %6.1f%% %s\n", bit, numerics.ClassifyBit(dt, bit),
+				props[bit]*100, strings.Repeat("█", int(props[bit]*60)))
+		}
+		// Headline: share contributed by the exponent MSB (bit 14 in BF16).
+		o.set(fmt.Sprintf("%s.%v.bit14", r.Model, r.Fault), props[dt.Bits()-2])
+		mantissa := 0.0
+		for bit, p := range props {
+			if numerics.ClassifyBit(dt, bit) == numerics.MantissaBit {
+				mantissa += p
+			}
+		}
+		o.set(fmt.Sprintf("%s.%v.mantissa", r.Model, r.Fault), mantissa)
+		b.WriteByte('\n')
+	}
+	if class == outcome.SDCDistorted {
+		b.WriteString("Expected shape: bit 14 (the exponent MSB of BF16) dominates; mantissa\nbits contribute zero distorted outputs (paper Fig. 10).\n")
+	} else {
+		b.WriteString("Expected shape: bit 14 (the exponent MSB of BF16) is the most vulnerable\nposition (paper Fig. 9).\n")
+	}
+	o.Text = b.String()
+	return o, nil
+}
+
+func runFig9(cfg Config) (*Outcome, error) {
+	return bitFigure(cfg.withDefaults(), outcome.SDCSubtle, "fig9", "Subtly-wrong outputs by bit position")
+}
+
+func runFig10(cfg Config) (*Outcome, error) {
+	return bitFigure(cfg.withDefaults(), outcome.SDCDistorted, "fig10", "Distorted outputs by bit position")
+}

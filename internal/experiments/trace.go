@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/gen"
+	"repro/internal/model"
+	"repro/internal/tensor"
+)
+
+// captureSet records the output vectors of selected layers at every token
+// position, reassembling them into (positions x width) tensors — the
+// propagation-trace instrument behind Figures 5 and 6.
+type captureSet struct {
+	want map[model.LayerRef]bool
+	rows map[model.LayerRef][][]float32
+}
+
+func newCaptureSet(refs ...model.LayerRef) *captureSet {
+	cs := &captureSet{
+		want: make(map[model.LayerRef]bool, len(refs)),
+		rows: make(map[model.LayerRef][][]float32, len(refs)),
+	}
+	for _, r := range refs {
+		cs.want[r] = true
+	}
+	return cs
+}
+
+// hook returns the forward hook that records layer outputs.
+func (cs *captureSet) hook() model.Hook {
+	return func(ref model.LayerRef, pos int, out []float32) {
+		if !cs.want[ref] {
+			return
+		}
+		cs.rows[ref] = append(cs.rows[ref], append([]float32(nil), out...))
+	}
+}
+
+// tensorOf assembles the captured rows of a layer.
+func (cs *captureSet) tensorOf(ref model.LayerRef) *tensor.Tensor {
+	rows := cs.rows[ref]
+	if len(rows) == 0 {
+		return tensor.New(0, 0)
+	}
+	t := tensor.New(len(rows), len(rows[0]))
+	for i, r := range rows {
+		copy(t.Row(i), r)
+	}
+	return t
+}
+
+// tracedRun generates from m while capturing the listed layers. arm, when
+// non-nil, is invoked after hooks are installed and may arm an injection
+// (memory faults arm before generation; computational faults were armed
+// by the caller adding their hook first).
+func tracedRun(m *model.Model, prompt []int, maxNew int, refs []model.LayerRef) (gen.Result, *captureSet) {
+	cs := newCaptureSet(refs...)
+	m.AddHook(cs.hook())
+	res := gen.Generate(m, prompt, gen.Defaults(maxNew))
+	m.ClearHooks()
+	return res, cs
+}
+
+// maskSummary renders a corruption-mask comparison of a layer between a
+// faulty and a fault-free capture.
+func maskSummary(label string, faulty, clean *tensor.Tensor) (string, tensor.MaskStats) {
+	if faulty.Rows != clean.Rows || faulty.Cols != clean.Cols {
+		// Generation lengths diverged — compare the shared prefix.
+		r := minInt(faulty.Rows, clean.Rows)
+		faulty = subRows(faulty, r)
+		clean = subRows(clean, r)
+	}
+	mask := tensor.CorruptionMask(faulty, clean, 1e-3)
+	st := tensor.SummarizeMask(mask)
+	txt := fmt.Sprintf("%-28s corrupted %5.1f%%  full-cols %d/%d  full-rows %d/%d  touched-cols %d  touched-rows %d\n",
+		label, st.CorruptedFrac*100, st.FullColumns, faulty.Cols, st.FullRows, faulty.Rows, st.TouchedCols, st.TouchedRows)
+	return txt, st
+}
+
+// maxAbsDiff reports the largest elementwise deviation between two
+// captures (after truncating to matching row counts).
+func maxAbsDiff(a, b *tensor.Tensor) float64 {
+	r := minInt(a.Rows, b.Rows)
+	return tensor.MaxAbsDiff(subRows(a, r), subRows(b, r))
+}
+
+func subRows(t *tensor.Tensor, r int) *tensor.Tensor {
+	if r > t.Rows {
+		r = t.Rows
+	}
+	return tensor.FromSlice(r, t.Cols, t.Data[:r*t.Cols])
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

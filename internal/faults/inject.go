@@ -1,0 +1,91 @@
+package faults
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/numerics"
+)
+
+// Injection is an armed fault. Arm it immediately before an inference and
+// Disarm it immediately after, so the next trial starts from a fault-free
+// model (§3.2's flip-back protocol). Exactly one Injection may be armed
+// on a model at a time; the campaign engine enforces this.
+type Injection struct {
+	Site    Site
+	m       *model.Model
+	restore func()
+	hooked  bool
+	// Fired reports whether a computational fault actually struck (its
+	// target iteration was reached). Memory faults always count as fired.
+	Fired bool
+}
+
+// Arm applies the fault described by site to m. promptLen is the length
+// of the prompt that will be fed before generation starts; computational
+// faults trigger at absolute position promptLen + site.GenIter.
+func Arm(m *model.Model, site Site, promptLen int) (*Injection, error) {
+	inj := &Injection{Site: site, m: m}
+	if site.Fault.IsMemory() {
+		w, err := m.Layer(site.Layer)
+		if err != nil {
+			return nil, err
+		}
+		if site.Row >= w.In() || site.Col >= w.Out() {
+			return nil, fmt.Errorf("faults: site %v out of range for %dx%d weight", site, w.In(), w.Out())
+		}
+		inj.restore = w.FlipBits(site.Row, site.Col, site.Bits)
+		inj.Fired = true
+		return inj, nil
+	}
+
+	// Computational fault: a one-shot forward hook. It fires the first
+	// time the target layer computes the target position — with beam
+	// search this corrupts exactly one hypothesis's row, which is how a
+	// transient in a batched GEMM behaves (one row of the output tensor),
+	// and is the mechanism behind Observation #9.
+	target := promptLen + site.GenIter
+	dt := m.Cfg.DType
+	inj.hooked = true
+	m.AddHook(func(ref model.LayerRef, pos int, out []float32) {
+		if inj.Fired || ref != site.Layer || pos != target {
+			return
+		}
+		if site.Col < len(out) {
+			out[site.Col] = float32(numerics.FlipBits(dt, float64(out[site.Col]), site.Bits...))
+			inj.Fired = true
+		}
+	})
+	return inj, nil
+}
+
+// Disarm restores the model to its fault-free configuration.
+func (inj *Injection) Disarm() {
+	if inj.restore != nil {
+		inj.restore()
+		inj.restore = nil
+	}
+	if inj.hooked {
+		// Hooks are cleared wholesale: the campaign engine owns the hook
+		// list during a trial.
+		inj.m.ClearHooks()
+		inj.hooked = false
+	}
+}
+
+// FaultValue returns, for a memory fault, the weight value before and
+// after the flip — used by propagation traces and reports.
+func FaultValue(m *model.Model, site Site) (before, after float64, err error) {
+	if !site.Fault.IsMemory() {
+		return 0, 0, fmt.Errorf("faults: FaultValue applies to memory faults only")
+	}
+	w, err := m.Layer(site.Layer)
+	if err != nil {
+		return 0, 0, err
+	}
+	before = w.Get(site.Row, site.Col)
+	restore := w.FlipBits(site.Row, site.Col, site.Bits)
+	after = w.Get(site.Row, site.Col)
+	restore()
+	return before, after, nil
+}

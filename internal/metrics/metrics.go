@@ -1,0 +1,314 @@
+// Package metrics reimplements, from scratch, every output-quality metric
+// of Table 1: BLEU and chrF++ for translation, ROUGE-1 and ROUGE-L for
+// summarization, Exact Match and token-level F1 for question answering,
+// and plain accuracy for multiple-choice and math. All metrics return
+// values in [0, 1].
+package metrics
+
+import (
+	"math"
+	"strings"
+)
+
+// Tokenize lower-cases and splits text on whitespace. All task suites in
+// this repository emit space-separated word tokens, so no further
+// normalization is required.
+func Tokenize(text string) []string {
+	return strings.Fields(strings.ToLower(text))
+}
+
+// ---------------------------------------------------------------------------
+// BLEU (Papineni et al., 2002)
+
+// BLEU computes sentence-level BLEU-4 with the standard brevity penalty
+// and +1 smoothing on higher-order precisions (Lin & Och smoothing
+// method 1 applied to orders with zero matches), so short sentences do
+// not collapse to zero.
+func BLEU(candidate, reference string) float64 {
+	cand := Tokenize(candidate)
+	ref := Tokenize(reference)
+	return BLEUTokens(cand, ref)
+}
+
+// BLEUTokens is BLEU over pre-tokenized word slices.
+func BLEUTokens(cand, ref []string) float64 {
+	if len(cand) == 0 {
+		return 0
+	}
+	// Orders above the candidate length contribute no n-grams; averaging
+	// over the achievable orders (as sacrebleu's effective order does)
+	// keeps very short sentences comparable.
+	maxN := 4
+	if len(cand) < maxN {
+		maxN = len(cand)
+	}
+	logSum := 0.0
+	for n := 1; n <= maxN; n++ {
+		match, total := ngramOverlap(cand, ref, n)
+		p := float64(match) / float64(total)
+		if match == 0 {
+			if n == 1 {
+				// No lexical overlap at all: the sentence scores zero.
+				return 0
+			}
+			p = 1 / float64(2*total) // smoothing for zero higher-order matches
+		}
+		logSum += math.Log(p)
+	}
+	bleu := math.Exp(logSum / float64(maxN))
+	// Brevity penalty.
+	c, r := float64(len(cand)), float64(len(ref))
+	if c < r && c > 0 {
+		bleu *= math.Exp(1 - r/c)
+	}
+	return clamp01(bleu)
+}
+
+// ngramOverlap returns the clipped match count and the total candidate
+// n-gram count for order n.
+func ngramOverlap(cand, ref []string, n int) (match, total int) {
+	if len(cand) < n {
+		return 0, 0
+	}
+	refCounts := ngramCounts(ref, n)
+	seen := make(map[string]int)
+	for i := 0; i+n <= len(cand); i++ {
+		g := strings.Join(cand[i:i+n], "\x00")
+		total++
+		if seen[g] < refCounts[g] {
+			match++
+		}
+		seen[g]++
+	}
+	return match, total
+}
+
+func ngramCounts(toks []string, n int) map[string]int {
+	counts := make(map[string]int)
+	for i := 0; i+n <= len(toks); i++ {
+		counts[strings.Join(toks[i:i+n], "\x00")]++
+	}
+	return counts
+}
+
+// ---------------------------------------------------------------------------
+// chrF++ (Popović, 2017)
+
+// ChrF computes chrF++ — the F-beta (beta=2) mean over character n-grams
+// (orders 1..6) plus word unigrams and bigrams, averaged uniformly over
+// orders as in the reference implementation.
+func ChrF(candidate, reference string) float64 {
+	candW := Tokenize(candidate)
+	refW := Tokenize(reference)
+	candC := strings.Join(candW, " ")
+	refC := strings.Join(refW, " ")
+
+	const beta = 2.0
+	var scores []float64
+	for n := 1; n <= 6; n++ {
+		scores = append(scores, fScore(charNgrams(candC, n), charNgrams(refC, n), beta))
+	}
+	for n := 1; n <= 2; n++ {
+		scores = append(scores, fScore(ngramCounts(candW, n), ngramCounts(refW, n), beta))
+	}
+	var sum float64
+	for _, s := range scores {
+		sum += s
+	}
+	return clamp01(sum / float64(len(scores)))
+}
+
+func charNgrams(s string, n int) map[string]int {
+	counts := make(map[string]int)
+	runes := []rune(s)
+	for i := 0; i+n <= len(runes); i++ {
+		counts[string(runes[i:i+n])]++
+	}
+	return counts
+}
+
+// fScore computes the clipped-overlap F-beta between two bags.
+func fScore(cand, ref map[string]int, beta float64) float64 {
+	var candTotal, refTotal, overlap int
+	for _, c := range cand {
+		candTotal += c
+	}
+	for _, c := range ref {
+		refTotal += c
+	}
+	for g, c := range cand {
+		r := ref[g]
+		if r < c {
+			overlap += r
+		} else {
+			overlap += c
+		}
+	}
+	if candTotal == 0 || refTotal == 0 {
+		if candTotal == refTotal {
+			return 1 // both empty at this order: neutral
+		}
+		return 0
+	}
+	p := float64(overlap) / float64(candTotal)
+	r := float64(overlap) / float64(refTotal)
+	if p+r == 0 {
+		return 0
+	}
+	b2 := beta * beta
+	return (1 + b2) * p * r / (b2*p + r)
+}
+
+// ---------------------------------------------------------------------------
+// ROUGE (Lin, 2004)
+
+// Rouge1 computes the ROUGE-1 F1: unigram overlap between candidate and
+// reference.
+func Rouge1(candidate, reference string) float64 {
+	return fScore(ngramCounts(Tokenize(candidate), 1), ngramCounts(Tokenize(reference), 1), 1)
+}
+
+// RougeL computes the ROUGE-L F1 based on the longest common subsequence
+// of the word sequences.
+func RougeL(candidate, reference string) float64 {
+	cand := Tokenize(candidate)
+	ref := Tokenize(reference)
+	if len(cand) == 0 || len(ref) == 0 {
+		if len(cand) == len(ref) {
+			return 1
+		}
+		return 0
+	}
+	l := float64(lcsLength(cand, ref))
+	p := l / float64(len(cand))
+	r := l / float64(len(ref))
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// lcsLength computes the longest-common-subsequence length with an
+// O(min) rolling row.
+func lcsLength(a, b []string) int {
+	if len(b) > len(a) {
+		a, b = b, a
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for i := 1; i <= len(a); i++ {
+		for j := 1; j <= len(b); j++ {
+			if a[i-1] == b[j-1] {
+				cur[j] = prev[j-1] + 1
+			} else if prev[j] >= cur[j-1] {
+				cur[j] = prev[j]
+			} else {
+				cur[j] = cur[j-1]
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+// ---------------------------------------------------------------------------
+// SQuAD-style Exact Match and token F1
+
+// ExactMatch reports 1 if the normalized candidate equals the normalized
+// reference, else 0.
+func ExactMatch(candidate, reference string) float64 {
+	if strings.Join(Tokenize(candidate), " ") == strings.Join(Tokenize(reference), " ") {
+		return 1
+	}
+	return 0
+}
+
+// F1 computes the SQuAD token-level F1 between candidate and reference.
+func F1(candidate, reference string) float64 {
+	return fScore(ngramCounts(Tokenize(candidate), 1), ngramCounts(Tokenize(reference), 1), 1)
+}
+
+// ---------------------------------------------------------------------------
+
+// Accuracy returns the fraction of correct booleans.
+func Accuracy(correct []bool) float64 {
+	if len(correct) == 0 {
+		return 0
+	}
+	n := 0
+	for _, c := range correct {
+		if c {
+			n++
+		}
+	}
+	return float64(n) / float64(len(correct))
+}
+
+// Mean averages a slice, returning 0 for empty input. NaN inputs are
+// skipped (a metric can be NaN only if upstream produced a degenerate
+// comparison; skipping matches how evaluation scripts drop such rows).
+func Mean(xs []float64) float64 {
+	var sum float64
+	n := 0
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			continue
+		}
+		sum += x
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	if math.IsNaN(v) {
+		return 0
+	}
+	return v
+}
+
+// Kind names a metric for reporting.
+type Kind string
+
+// Metric kinds used across the experiment harness.
+const (
+	KindAccuracy Kind = "Accuracy"
+	KindBLEU     Kind = "BLEU"
+	KindChrF     Kind = "chrF++"
+	KindRouge1   Kind = "ROUGE-1"
+	KindRougeL   Kind = "ROUGE-L"
+	KindEM       Kind = "ExactMatch"
+	KindF1       Kind = "F1"
+)
+
+// Func is a sentence-pair metric.
+type Func func(candidate, reference string) float64
+
+// ByKind returns the metric function for a kind.
+func ByKind(k Kind) Func {
+	switch k {
+	case KindBLEU:
+		return BLEU
+	case KindChrF:
+		return ChrF
+	case KindRouge1:
+		return Rouge1
+	case KindRougeL:
+		return RougeL
+	case KindEM:
+		return ExactMatch
+	case KindF1:
+		return F1
+	default:
+		return ExactMatch
+	}
+}

@@ -1,0 +1,217 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/prng"
+)
+
+func TestBLEUPerfectMatch(t *testing.T) {
+	s := "the cat sat on the mat with a hat"
+	if got := BLEU(s, s); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("BLEU(x,x) = %g, want 1", got)
+	}
+}
+
+func TestBLEUDisjoint(t *testing.T) {
+	got := BLEU("aa bb cc dd ee", "vv ww xx yy zz")
+	if got > 0.1 {
+		t.Fatalf("BLEU of disjoint sentences = %g, want ~0", got)
+	}
+}
+
+func TestBLEUEmptyCandidate(t *testing.T) {
+	if BLEU("", "reference words here") != 0 {
+		t.Fatal("empty candidate should score 0")
+	}
+}
+
+func TestBLEUBrevityPenalty(t *testing.T) {
+	ref := "a b c d e f g h"
+	full := BLEU("a b c d e f g h", ref)
+	short := BLEU("a b c d", ref)
+	if short >= full {
+		t.Fatalf("short candidate (%g) should be penalized vs full (%g)", short, full)
+	}
+}
+
+func TestBLEUClipping(t *testing.T) {
+	// Candidate repeating a reference word must not gain from repetition.
+	rep := BLEU("the the the the", "the cat sat down")
+	if rep > 0.3 {
+		t.Fatalf("repetition should be clipped, BLEU = %g", rep)
+	}
+}
+
+func TestBLEUOrderSensitivity(t *testing.T) {
+	ref := "a b c d e f"
+	inOrder := BLEU("a b c d e f", ref)
+	shuffled := BLEU("f e d c b a", ref)
+	if shuffled >= inOrder {
+		t.Fatalf("shuffled (%g) should score below in-order (%g)", shuffled, inOrder)
+	}
+}
+
+func TestChrFPerfectAndBounds(t *testing.T) {
+	s := "guten morgen welt"
+	if got := ChrF(s, s); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("ChrF(x,x) = %g", got)
+	}
+	got := ChrF("abc", "xyz qrs")
+	if got < 0 || got > 0.3 {
+		t.Fatalf("ChrF disjoint = %g", got)
+	}
+}
+
+func TestChrFPartialCredit(t *testing.T) {
+	// chrF++ gives character-level partial credit that BLEU denies.
+	cand, ref := "translat", "translate"
+	if ChrF(cand, ref) <= BLEU(cand, ref) {
+		t.Fatal("chrF should give partial credit for near-match words")
+	}
+}
+
+func TestRouge1(t *testing.T) {
+	if got := Rouge1("a b c", "a b c"); got != 1 {
+		t.Fatalf("Rouge1 perfect = %g", got)
+	}
+	got := Rouge1("a b", "a c")
+	// precision 1/2, recall 1/2 -> F1 = 0.5
+	if math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("Rouge1 = %g, want 0.5", got)
+	}
+}
+
+func TestRougeLSubsequence(t *testing.T) {
+	// LCS("a b c d", "a x c d") = 3 -> P=R=3/4 -> F1=0.75.
+	got := RougeL("a b c d", "a x c d")
+	if math.Abs(got-0.75) > 1e-9 {
+		t.Fatalf("RougeL = %g, want 0.75", got)
+	}
+	// ROUGE-L respects order where ROUGE-1 does not.
+	if RougeL("d c b a", "a b c d") >= RougeL("a b c d", "a b c d") {
+		t.Fatal("RougeL should punish reordering")
+	}
+}
+
+func TestLCSAgainstBruteForce(t *testing.T) {
+	words := []string{"a", "b", "c"}
+	gen := func(src *prng.Source, n int) []string {
+		out := make([]string, n)
+		for i := range out {
+			out[i] = words[src.Intn(len(words))]
+		}
+		return out
+	}
+	var brute func(a, b []string) int
+	brute = func(a, b []string) int {
+		if len(a) == 0 || len(b) == 0 {
+			return 0
+		}
+		if a[len(a)-1] == b[len(b)-1] {
+			return brute(a[:len(a)-1], b[:len(b)-1]) + 1
+		}
+		x := brute(a[:len(a)-1], b)
+		if y := brute(a, b[:len(b)-1]); y > x {
+			x = y
+		}
+		return x
+	}
+	f := func(seed uint64, la, lb uint8) bool {
+		src := prng.New(seed)
+		a := gen(src, int(la%8)+1)
+		b := gen(src, int(lb%8)+1)
+		return lcsLength(a, b) == brute(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExactMatch(t *testing.T) {
+	if ExactMatch("Hello World", "hello   world") != 1 {
+		t.Fatal("EM should normalize case and whitespace")
+	}
+	if ExactMatch("hello", "world") != 0 {
+		t.Fatal("EM mismatch should be 0")
+	}
+}
+
+func TestF1(t *testing.T) {
+	// cand {a,b}, ref {b,c}: overlap 1, P=0.5, R=0.5 -> F1 0.5.
+	if got := F1("a b", "b c"); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("F1 = %g", got)
+	}
+	if F1("", "") != 1 {
+		t.Fatal("both empty should be 1")
+	}
+	if F1("a", "") != 0 {
+		t.Fatal("one empty should be 0")
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	if Accuracy([]bool{true, false, true, true}) != 0.75 {
+		t.Fatal("accuracy arithmetic")
+	}
+	if Accuracy(nil) != 0 {
+		t.Fatal("empty accuracy should be 0")
+	}
+}
+
+func TestMeanSkipsNaN(t *testing.T) {
+	if got := Mean([]float64{1, math.NaN(), 3}); got != 2 {
+		t.Fatalf("Mean = %g, want 2", got)
+	}
+}
+
+// Property: every metric is in [0,1] and equals 1 on identical texts.
+func TestMetricProperties(t *testing.T) {
+	words := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
+	kinds := []Kind{KindBLEU, KindChrF, KindRouge1, KindRougeL, KindEM, KindF1}
+	f := func(seed uint64, la, lb uint8) bool {
+		src := prng.New(seed)
+		mk := func(n int) string {
+			parts := make([]string, n)
+			for i := range parts {
+				parts[i] = words[src.Intn(len(words))]
+			}
+			return strings.Join(parts, " ")
+		}
+		a := mk(int(la%10) + 1)
+		b := mk(int(lb%10) + 1)
+		for _, k := range kinds {
+			fn := ByKind(k)
+			v := fn(a, b)
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+			if fn(a, a) != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkBLEU(b *testing.B) {
+	cand := "the quick brown fox jumps over the lazy dog near the river bank"
+	ref := "a quick brown fox jumped over the lazy dog by the river"
+	for i := 0; i < b.N; i++ {
+		BLEU(cand, ref)
+	}
+}
+
+func BenchmarkChrF(b *testing.B) {
+	cand := "the quick brown fox jumps over the lazy dog"
+	ref := "a quick brown fox jumped over a lazy dog"
+	for i := 0; i < b.N; i++ {
+		ChrF(cand, ref)
+	}
+}

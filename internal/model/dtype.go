@@ -1,0 +1,69 @@
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/numerics"
+)
+
+// WithDType returns a copy of m whose weights and activations use the
+// given storage format — the datatype study of §4.3.3 evaluates the same
+// trained model under FP16, BF16, and FP32. Only dense-weight models can
+// be retyped (quantized models have their own storage study, Figure 17).
+func WithDType(m *Model, dt numerics.DType) (*Model, error) {
+	nm := m.Clone()
+	nm.Cfg.DType = dt
+	retype := func(w Weight) (Weight, error) {
+		d, ok := w.(*Dense)
+		if !ok {
+			return nil, fmt.Errorf("model: cannot retype %T weight", w)
+		}
+		return NewDense(d.T, dt), nil
+	}
+	var err error
+	if nm.LMHead, err = retype(nm.LMHead); err != nil {
+		return nil, err
+	}
+	for _, blk := range nm.Blocks {
+		if blk.Wq, err = retype(blk.Wq); err != nil {
+			return nil, err
+		}
+		if blk.Wk, err = retype(blk.Wk); err != nil {
+			return nil, err
+		}
+		if blk.Wv, err = retype(blk.Wv); err != nil {
+			return nil, err
+		}
+		if blk.Wo, err = retype(blk.Wo); err != nil {
+			return nil, err
+		}
+		mlps := []*MLPWeights{blk.MLP}
+		if blk.Router != nil {
+			if blk.Router, err = retype(blk.Router); err != nil {
+				return nil, err
+			}
+			mlps = blk.Experts
+		}
+		for _, mlp := range mlps {
+			if mlp == nil {
+				continue
+			}
+			if mlp.WGate, err = retype(mlp.WGate); err != nil {
+				return nil, err
+			}
+			if mlp.WUp, err = retype(mlp.WUp); err != nil {
+				return nil, err
+			}
+			if mlp.WDown, err = retype(mlp.WDown); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Embeddings follow the model datatype as well.
+	if dt != numerics.FP32 {
+		for i, v := range nm.Embed.Data {
+			nm.Embed.Data[i] = float32(numerics.Round(dt, float64(v)))
+		}
+	}
+	return nm, nil
+}

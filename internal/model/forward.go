@@ -1,0 +1,328 @@
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/numerics"
+	"repro/internal/tensor"
+)
+
+// State holds the mutable per-inference state: the KV cache and scratch
+// buffers. A Model may serve many States; a State must not be shared
+// between goroutines.
+type State struct {
+	m   *Model
+	Pos int // number of tokens processed so far
+
+	// Per block: cached keys and values, MaxSeq x DModel (head-major rows).
+	K, V []*tensor.Tensor
+
+	// Scratch buffers reused across steps.
+	x, h, q, k, v, attnOut, ff1, ff2, ffa, logits []float32
+	routerLogits                                  []float32
+
+	// ExpertTrace, when non-nil, records the experts selected at each step
+	// for each MoE block — Figure 15's "expert selection changed" analysis.
+	ExpertTrace [][]int
+}
+
+// NewState allocates inference state for m.
+func (m *Model) NewState() *State {
+	st := &State{m: m}
+	st.K = make([]*tensor.Tensor, m.Cfg.NBlocks)
+	st.V = make([]*tensor.Tensor, m.Cfg.NBlocks)
+	for i := range st.K {
+		st.K[i] = tensor.New(m.Cfg.MaxSeq, m.Cfg.DModel)
+		st.V[i] = tensor.New(m.Cfg.MaxSeq, m.Cfg.DModel)
+	}
+	d, ff := m.Cfg.DModel, m.Cfg.FFHidden
+	st.x = make([]float32, d)
+	st.h = make([]float32, d)
+	st.q = make([]float32, d)
+	st.k = make([]float32, d)
+	st.v = make([]float32, d)
+	st.attnOut = make([]float32, d)
+	st.ff1 = make([]float32, ff)
+	st.ff2 = make([]float32, ff)
+	st.ffa = make([]float32, ff)
+	st.logits = make([]float32, m.Cfg.Vocab)
+	if m.Cfg.IsMoE() {
+		st.routerLogits = make([]float32, m.Cfg.NumExperts)
+	}
+	return st
+}
+
+// Reset rewinds the state to an empty context so the buffers can be
+// reused for a fresh inference.
+func (st *State) Reset() {
+	st.Pos = 0
+	st.ExpertTrace = nil
+}
+
+// Fork returns an independent copy of the state: position and the live
+// prefix of the KV cache are duplicated, scratch buffers are fresh. Beam
+// search forks candidate hypotheses from a shared prefix with this.
+func (st *State) Fork() *State {
+	ns := st.m.NewState()
+	ns.Pos = st.Pos
+	for i := range st.K {
+		n := st.Pos * st.m.Cfg.DModel
+		copy(ns.K[i].Data[:n], st.K[i].Data[:n])
+		copy(ns.V[i].Data[:n], st.V[i].Data[:n])
+	}
+	if st.ExpertTrace != nil {
+		ns.ExpertTrace = make([][]int, len(st.ExpertTrace))
+		for i, tr := range st.ExpertTrace {
+			ns.ExpertTrace[i] = append([]int(nil), tr...)
+		}
+	}
+	return ns
+}
+
+// EnableExpertTrace starts recording MoE expert selections per block.
+func (st *State) EnableExpertTrace() {
+	st.ExpertTrace = make([][]int, st.m.Cfg.NBlocks)
+}
+
+// DecodeStep runs one token through the model, appending to the KV cache,
+// and returns the next-token logits. The returned slice is reused by the
+// next call; copy it if it must outlive the step.
+func (st *State) DecodeStep(tok int) []float32 {
+	m := st.m
+	cfg := &m.Cfg
+	if st.Pos >= cfg.MaxSeq {
+		panic(fmt.Sprintf("model: context overflow (max %d)", cfg.MaxSeq))
+	}
+	if tok < 0 || tok >= cfg.Vocab {
+		tok = 0
+	}
+	pos := st.Pos
+	d := cfg.DModel
+
+	copy(st.x, m.Embed.Row(tok))
+
+	for bi, blk := range m.Blocks {
+		// --- attention sub-block ---
+		copy(st.h, st.x)
+		tensor.RMSNormRow(st.h, blk.AttnNorm, cfg.Eps)
+
+		blk.Wq.Forward(st.q, st.h)
+		m.finishLinear(LayerRef{bi, KindQ, -1}, pos, st.q)
+		blk.Wk.Forward(st.k, st.h)
+		m.finishLinear(LayerRef{bi, KindK, -1}, pos, st.k)
+		blk.Wv.Forward(st.v, st.h)
+		m.finishLinear(LayerRef{bi, KindV, -1}, pos, st.v)
+
+		m.applyRoPE(st.q, pos)
+		m.applyRoPE(st.k, pos)
+
+		copy(st.K[bi].Row(pos), st.k)
+		copy(st.V[bi].Row(pos), st.v)
+
+		m.attend(st, bi, pos)
+
+		blk.Wo.Forward(st.h, st.attnOut)
+		m.finishLinear(LayerRef{bi, KindOut, -1}, pos, st.h)
+		for i := range st.x {
+			st.x[i] += st.h[i]
+		}
+
+		// --- MLP / MoE sub-block ---
+		copy(st.h, st.x)
+		tensor.RMSNormRow(st.h, blk.MLPNorm, cfg.Eps)
+
+		if blk.Router != nil {
+			m.moeForward(st, blk, bi, pos)
+		} else {
+			m.mlpForward(st, blk.MLP, LayerRef{bi, 0, -1}, pos, st.h, st.h)
+		}
+		for i := 0; i < d; i++ {
+			st.x[i] += st.h[i]
+		}
+	}
+
+	tensor.RMSNormRow(st.x, m.FinalNorm, cfg.Eps)
+	m.LMHead.Forward(st.logits, st.x)
+	m.finishLinear(LayerRef{-1, KindLMHead, -1}, pos, st.logits)
+
+	st.Pos++
+	return st.logits
+}
+
+// mlpForward computes dst = down(silu(gate(h)) * up(h)). base carries the
+// block and expert indices; its Kind field is overwritten per projection.
+// dst and h may alias.
+func (m *Model) mlpForward(st *State, mlp *MLPWeights, base LayerRef, pos int, dst, h []float32) {
+	base.Kind = KindGate
+	mlp.WGate.Forward(st.ff1, h)
+	m.finishLinear(base, pos, st.ff1)
+	base.Kind = KindUp
+	mlp.WUp.Forward(st.ff2, h)
+	m.finishLinear(base, pos, st.ff2)
+	for i, g := range st.ff1 {
+		st.ffa[i] = float32(float64(g)/(1+math.Exp(-float64(g)))) * st.ff2[i]
+	}
+	base.Kind = KindDown
+	mlp.WDown.Forward(dst, st.ffa)
+	m.finishLinear(base, pos, dst)
+}
+
+// moeForward routes h through the top-K experts selected by the router
+// gate layer and writes the probability-weighted mixture to st.h.
+func (m *Model) moeForward(st *State, blk *Block, bi, pos int) {
+	cfg := &m.Cfg
+	blk.Router.Forward(st.routerLogits, st.h)
+	m.finishLinear(LayerRef{bi, KindRouter, -1}, pos, st.routerLogits)
+
+	sel := tensor.TopK(st.routerLogits, cfg.TopK)
+	if st.ExpertTrace != nil {
+		st.ExpertTrace[bi] = append(st.ExpertTrace[bi], sel...)
+	}
+	// Softmax over the selected logits only (Mixtral-style renormalization).
+	probs := make([]float32, len(sel))
+	var maxv float32 = float32(math.Inf(-1))
+	for i, e := range sel {
+		probs[i] = st.routerLogits[e]
+		if probs[i] > maxv {
+			maxv = probs[i]
+		}
+	}
+	var sum float64
+	for i := range probs {
+		p := math.Exp(float64(probs[i] - maxv))
+		probs[i] = float32(p)
+		sum += p
+	}
+	if sum > 0 && !math.IsNaN(sum) && !math.IsInf(sum, 0) {
+		for i := range probs {
+			probs[i] = float32(float64(probs[i]) / sum)
+		}
+	} else {
+		for i := range probs {
+			probs[i] = 1 / float32(len(probs))
+		}
+	}
+
+	mix := make([]float32, cfg.DModel)
+	out := make([]float32, cfg.DModel)
+	for i, e := range sel {
+		m.mlpForward(st, blk.Experts[e], LayerRef{bi, 0, e}, pos, out, st.h)
+		w := probs[i]
+		for j, v := range out {
+			mix[j] += w * v
+		}
+	}
+	copy(st.h, mix)
+}
+
+// attend computes causal multi-head attention for the token at pos using
+// the block's KV cache and writes the concatenated head outputs to
+// st.attnOut.
+func (m *Model) attend(st *State, bi, pos int) {
+	cfg := &m.Cfg
+	hd := cfg.HeadDim()
+	scale := 1 / math.Sqrt(float64(hd))
+	K, V := st.K[bi], st.V[bi]
+	n := pos + 1
+
+	scores := make([]float32, n)
+	for h := 0; h < cfg.NHeads; h++ {
+		off := h * hd
+		q := st.q[off : off+hd]
+		for t := 0; t < n; t++ {
+			krow := K.Row(t)[off : off+hd]
+			var dot float64
+			for i, qv := range q {
+				dot += float64(qv) * float64(krow[i])
+			}
+			scores[t] = float32(dot * scale)
+		}
+		tensor.SoftmaxRow(scores[:n])
+		out := st.attnOut[off : off+hd]
+		for i := range out {
+			out[i] = 0
+		}
+		for t := 0; t < n; t++ {
+			w := scores[t]
+			if w == 0 {
+				continue
+			}
+			vrow := V.Row(t)[off : off+hd]
+			for i, vv := range vrow {
+				out[i] += w * vv
+			}
+		}
+	}
+}
+
+// finishLinear applies the model's forward hooks to a linear layer's
+// output and requantizes it to the model datatype. Hooks run before
+// rounding so an injected bit pattern is exactly the DType value.
+func (m *Model) finishLinear(ref LayerRef, pos int, out []float32) {
+	m.runHooks(ref, pos, out)
+	if m.Cfg.DType != numerics.FP32 {
+		dt := m.Cfg.DType
+		for i, v := range out {
+			out[i] = float32(numerics.Round(dt, float64(v)))
+		}
+	}
+}
+
+// applyRoPE rotates adjacent element pairs of each head of vec by the
+// position-dependent angles of rotary position embedding.
+func (m *Model) applyRoPE(vec []float32, pos int) {
+	cosT, sinT := m.ropeCos[pos], m.ropeSin[pos]
+	hd := m.Cfg.HeadDim()
+	for h := 0; h < m.Cfg.NHeads; h++ {
+		off := h * hd
+		for i := 0; i < hd/2; i++ {
+			c, s := cosT[i], sinT[i]
+			a, b := vec[off+2*i], vec[off+2*i+1]
+			vec[off+2*i] = a*c - b*s
+			vec[off+2*i+1] = a*s + b*c
+		}
+	}
+}
+
+// InitRope precomputes the rotary embedding tables for every position.
+// Build and Load call it automatically; packages that assemble a Model
+// from parts (quantization, training export) must call it once before
+// inference.
+func (m *Model) InitRope() { m.initRope() }
+
+// initRope precomputes the rotary tables for every position.
+func (m *Model) initRope() {
+	cfg := &m.Cfg
+	hd := cfg.HeadDim()
+	m.ropeCos = make([][]float32, cfg.MaxSeq)
+	m.ropeSin = make([][]float32, cfg.MaxSeq)
+	for p := 0; p < cfg.MaxSeq; p++ {
+		cosT := make([]float32, hd/2)
+		sinT := make([]float32, hd/2)
+		for i := 0; i < hd/2; i++ {
+			freq := 1 / math.Pow(cfg.RopeTheta, float64(2*i)/float64(hd))
+			ang := float64(p) * freq
+			cosT[i] = float32(math.Cos(ang))
+			sinT[i] = float32(math.Sin(ang))
+		}
+		m.ropeCos[p] = cosT
+		m.ropeSin[p] = sinT
+	}
+}
+
+// Prefill feeds every prompt token through DecodeStep and returns the
+// logits after the final prompt token (the distribution over the first
+// generated token). Prompt processing is sequential token recurrence —
+// identical dataflow to batched prefill for our purposes, since fault
+// injection targets per-token linear outputs.
+func (st *State) Prefill(prompt []int) []float32 {
+	if len(prompt) == 0 {
+		panic("model: empty prompt")
+	}
+	var logits []float32
+	for _, t := range prompt {
+		logits = st.DecodeStep(t)
+	}
+	return logits
+}

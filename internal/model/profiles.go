@@ -1,0 +1,209 @@
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/numerics"
+	"repro/internal/prng"
+	"repro/internal/tensor"
+)
+
+// Family identifies a surrogate model family. The three families differ
+// in their weight/neuron value distributions, mirroring Figure 13's
+// finding that Qwen2.5 / Llama3.1 / Falcon3 have visibly different
+// down_proj distributions (narrow / medium / wide), which Observation #3
+// links to their differing resilience.
+type Family int
+
+const (
+	// QwenS uses a narrow Gaussian weight distribution.
+	QwenS Family = iota
+	// LlamaS uses a medium-width Laplace (heavier-tailed) distribution.
+	LlamaS
+	// FalconS uses a wide uniform distribution (bounded tails).
+	FalconS
+)
+
+// String names the family.
+func (f Family) String() string {
+	switch f {
+	case QwenS:
+		return "QwenS"
+	case LlamaS:
+		return "LlamaS"
+	case FalconS:
+		return "FalconS"
+	default:
+		return fmt.Sprintf("Family(%d)", int(f))
+	}
+}
+
+// Families lists all surrogate families.
+var Families = []Family{QwenS, LlamaS, FalconS}
+
+// scale returns the family's weight-scale multiplier relative to the
+// 1/sqrt(d) baseline.
+func (f Family) scale() float64 {
+	switch f {
+	case QwenS:
+		return 0.75
+	case FalconS:
+		return 1.4
+	default:
+		return 1.0
+	}
+}
+
+// sample draws one weight from the family's distribution with standard
+// deviation sigma.
+func (f Family) sample(src *prng.Source, sigma float64) float64 {
+	switch f {
+	case QwenS:
+		return src.NormFloat64() * sigma
+	case LlamaS:
+		// Laplace with the same variance: b = sigma/sqrt(2).
+		u := src.Float64() - 0.5
+		b := sigma / math.Sqrt2
+		if u < 0 {
+			return b * math.Log(1+2*u)
+		}
+		return -b * math.Log(1-2*u)
+	case FalconS:
+		// Uniform with the same variance: half-width = sigma*sqrt(3).
+		w := sigma * math.Sqrt(3)
+		return (2*src.Float64() - 1) * w
+	default:
+		return src.NormFloat64() * sigma
+	}
+}
+
+// Spec bundles everything needed to build a model with deterministic
+// random weights.
+type Spec struct {
+	Config
+	Family Family
+	Seed   uint64
+}
+
+// Build constructs a model from spec. The same spec always yields
+// bit-identical weights.
+func Build(spec Spec) (*Model, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	cfg := spec.Config
+	src := prng.New(spec.Seed ^ 0xabcdef1234567890)
+	m := &Model{Cfg: cfg}
+
+	d := cfg.DModel
+	sigmaIn := spec.Family.scale() / math.Sqrt(float64(d))
+	sigmaFF := spec.Family.scale() / math.Sqrt(float64(cfg.FFHidden))
+
+	m.Embed = randTensor(src.Split(0), spec.Family, cfg.Vocab, d, 0.7*sigmaIn)
+	m.FinalNorm = ones(d)
+	m.LMHead = NewDense(randTensor(src.Split(1), spec.Family, d, cfg.Vocab, sigmaIn), cfg.DType)
+
+	m.Blocks = make([]*Block, cfg.NBlocks)
+	for b := range m.Blocks {
+		bs := src.Split(uint64(100 + b))
+		blk := &Block{
+			AttnNorm: ones(d),
+			MLPNorm:  ones(d),
+			Wq:       NewDense(randTensor(bs.Split(0), spec.Family, d, d, sigmaIn), cfg.DType),
+			Wk:       NewDense(randTensor(bs.Split(1), spec.Family, d, d, sigmaIn), cfg.DType),
+			Wv:       NewDense(randTensor(bs.Split(2), spec.Family, d, d, sigmaIn), cfg.DType),
+			Wo:       NewDense(randTensor(bs.Split(3), spec.Family, d, d, sigmaIn), cfg.DType),
+		}
+		if cfg.IsMoE() {
+			blk.Router = NewDense(randTensor(bs.Split(4), spec.Family, d, cfg.NumExperts, sigmaIn), cfg.DType)
+			blk.Experts = make([]*MLPWeights, cfg.NumExperts)
+			for e := range blk.Experts {
+				es := bs.Split(uint64(10 + e))
+				blk.Experts[e] = newMLP(es, spec.Family, cfg, sigmaIn, sigmaFF)
+			}
+		} else {
+			blk.MLP = newMLP(bs.Split(5), spec.Family, cfg, sigmaIn, sigmaFF)
+		}
+		m.Blocks[b] = blk
+	}
+	m.initRope()
+	return m, nil
+}
+
+// MustBuild is Build that panics on error, for tests and examples with
+// known-good specs.
+func MustBuild(spec Spec) *Model {
+	m, err := Build(spec)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func newMLP(src *prng.Source, fam Family, cfg Config, sigmaIn, sigmaFF float64) *MLPWeights {
+	return &MLPWeights{
+		WGate: NewDense(randTensor(src.Split(0), fam, cfg.DModel, cfg.FFHidden, sigmaIn), cfg.DType),
+		WUp:   NewDense(randTensor(src.Split(1), fam, cfg.DModel, cfg.FFHidden, sigmaIn), cfg.DType),
+		WDown: NewDense(randTensor(src.Split(2), fam, cfg.FFHidden, cfg.DModel, sigmaFF), cfg.DType),
+	}
+}
+
+func randTensor(src *prng.Source, fam Family, rows, cols int, sigma float64) *tensor.Tensor {
+	t := tensor.New(rows, cols)
+	for i := range t.Data {
+		t.Data[i] = float32(fam.sample(src, sigma))
+	}
+	return t
+}
+
+func ones(n int) []float32 {
+	v := make([]float32, n)
+	for i := range v {
+		v[i] = 1
+	}
+	return v
+}
+
+// StandardConfig returns the default benchmark-scale architecture used by
+// the characterization campaigns: a small but structurally faithful
+// Llama-style decoder.
+func StandardConfig(name string, vocab int, dt numerics.DType) Config {
+	return Config{
+		Name:      name,
+		Vocab:     vocab,
+		DModel:    64,
+		NHeads:    4,
+		NBlocks:   4,
+		FFHidden:  176,
+		MaxSeq:    160,
+		Eps:       1e-5,
+		DType:     dt,
+		RopeTheta: 10000,
+	}
+}
+
+// MoEConfig converts cfg into its top-2-of-8 Mixture-of-Experts
+// counterpart (the Llama-3.2-8X3B-MOE setup of §4.2.3).
+func MoEConfig(cfg Config) Config {
+	cfg.Name = cfg.Name + "-moe"
+	cfg.NumExperts = 8
+	cfg.TopK = 2
+	return cfg
+}
+
+// ScaledConfig returns cfg resized by the given width/depth multipliers,
+// used by the model-scale study (Figure 16).
+func ScaledConfig(cfg Config, widthMul float64, blocks int) Config {
+	d := int(float64(cfg.DModel)*widthMul) / cfg.NHeads * cfg.NHeads
+	if d < cfg.NHeads*2 {
+		d = cfg.NHeads * 2
+	}
+	cfg.DModel = d
+	cfg.FFHidden = int(float64(cfg.FFHidden) * widthMul)
+	if cfg.FFHidden < 8 {
+		cfg.FFHidden = 8
+	}
+	cfg.NBlocks = blocks
+	return cfg
+}

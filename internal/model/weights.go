@@ -1,0 +1,269 @@
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/numerics"
+	"repro/internal/tensor"
+)
+
+// Weight is a linear layer's parameter matrix, abstracted so that dense
+// floating-point storage and quantized integer storage (internal/quant)
+// are interchangeable. The fault injector needs only this interface:
+// memory faults flip bits of the *storage* representation at (row, col)
+// and must be restorable (flip-back after each trial, §3.2).
+type Weight interface {
+	// In returns the input dimension (rows of the matrix).
+	In() int
+	// Out returns the output dimension (columns).
+	Out() int
+	// Forward computes out = x · W for a single row vector x.
+	Forward(out, x []float32)
+	// Get returns the effective (dequantized) value at (r, c).
+	Get(r, c int) float64
+	// FlipBits flips the listed storage-bit positions of the element at
+	// (r, c) and returns a function restoring the original storage.
+	FlipBits(r, c int, bits []int) (restore func())
+	// StorageBits returns the number of addressable bits per element.
+	StorageBits() int
+	// CloneWeight returns an independent deep copy. Campaign workers
+	// clone the model so concurrent memory-fault trials cannot observe
+	// each other's flipped weights.
+	CloneWeight() Weight
+}
+
+// Dense is a Weight backed by a float32 tensor whose elements logically
+// live in DT: they are pre-rounded to DT at construction, and FlipBits
+// operates on the DT bit pattern (so a BF16 model's weights can reach
+// ±3e38 after an exponent-MSB flip while an FP16 model's cannot exceed
+// ±65504 — the mechanism of Observation #11).
+type Dense struct {
+	T  *tensor.Tensor // In x Out
+	DT numerics.DType
+}
+
+// NewDense wraps t, rounding every element to dt.
+func NewDense(t *tensor.Tensor, dt numerics.DType) *Dense {
+	d := &Dense{T: t, DT: dt}
+	if dt != numerics.FP32 {
+		for i, v := range t.Data {
+			t.Data[i] = float32(numerics.Round(dt, float64(v)))
+		}
+	}
+	return d
+}
+
+// In returns the input dimension.
+func (d *Dense) In() int { return d.T.Rows }
+
+// Out returns the output dimension.
+func (d *Dense) Out() int { return d.T.Cols }
+
+// Forward computes out = x · W.
+func (d *Dense) Forward(out, x []float32) { tensor.MatVec(out, x, d.T) }
+
+// Get returns the element at (r, c).
+func (d *Dense) Get(r, c int) float64 { return float64(d.T.At(r, c)) }
+
+// StorageBits returns the bit width of the logical datatype.
+func (d *Dense) StorageBits() int { return d.DT.Bits() }
+
+// FlipBits flips the given bit positions of element (r, c) in the DT
+// representation and returns a restorer.
+func (d *Dense) FlipBits(r, c int, bits []int) func() {
+	old := d.T.At(r, c)
+	d.T.Set(r, c, float32(numerics.FlipBits(d.DT, float64(old), bits...)))
+	return func() { d.T.Set(r, c, old) }
+}
+
+// CloneWeight returns a deep copy.
+func (d *Dense) CloneWeight() Weight {
+	return &Dense{T: d.T.Clone(), DT: d.DT}
+}
+
+// MLPWeights holds one SwiGLU feed-forward network: down(silu(gate(x)) *
+// up(x)). For MoE models each expert owns one MLPWeights.
+type MLPWeights struct {
+	WGate, WUp, WDown Weight
+}
+
+// Block is one transformer block's parameters.
+type Block struct {
+	AttnNorm []float32 // RMSNorm gain before attention
+	MLPNorm  []float32 // RMSNorm gain before MLP / MoE
+
+	Wq, Wk, Wv, Wo Weight
+
+	// Dense path (NumExperts == 0):
+	MLP *MLPWeights
+
+	// MoE path (NumExperts > 0):
+	Router  Weight // d_model x NumExperts gate layer
+	Experts []*MLPWeights
+}
+
+// Model is a complete decoder-only transformer. The parameter tensors are
+// treated as read-only during inference except by the memory-fault
+// injector, which requires exclusive access for flip/restore (campaigns
+// serialize memory-fault trials per model instance, as the paper does).
+type Model struct {
+	Cfg Config
+
+	Embed     *tensor.Tensor // Vocab x DModel
+	Blocks    []*Block
+	FinalNorm []float32
+	LMHead    Weight // DModel x Vocab
+
+	// ropeCos/ropeSin cache cos/sin tables per position and rotary pair.
+	ropeCos, ropeSin [][]float32
+
+	hooks []Hook
+}
+
+// Hook observes (and may modify in place) the output vector of a linear
+// layer during a decode step. step is the absolute token position being
+// computed. This is the software analogue of PyTorch forward hooks used
+// for computational fault injection (§3.2).
+type Hook func(ref LayerRef, step int, out []float32)
+
+// AddHook registers h; hooks run in registration order.
+func (m *Model) AddHook(h Hook) { m.hooks = append(m.hooks, h) }
+
+// ClearHooks removes all hooks.
+func (m *Model) ClearHooks() { m.hooks = nil }
+
+// runHooks invokes registered hooks for a layer output.
+func (m *Model) runHooks(ref LayerRef, step int, out []float32) {
+	for _, h := range m.hooks {
+		h(ref, step, out)
+	}
+}
+
+// Clone returns a deep copy of the model sharing no mutable state with
+// the original. Rotary tables (immutable) are shared.
+func (m *Model) Clone() *Model {
+	nm := &Model{
+		Cfg:       m.Cfg,
+		Embed:     m.Embed.Clone(),
+		FinalNorm: append([]float32(nil), m.FinalNorm...),
+		LMHead:    m.LMHead.CloneWeight(),
+		ropeCos:   m.ropeCos,
+		ropeSin:   m.ropeSin,
+	}
+	cloneMLP := func(w *MLPWeights) *MLPWeights {
+		if w == nil {
+			return nil
+		}
+		return &MLPWeights{
+			WGate: w.WGate.CloneWeight(),
+			WUp:   w.WUp.CloneWeight(),
+			WDown: w.WDown.CloneWeight(),
+		}
+	}
+	for _, blk := range m.Blocks {
+		nb := &Block{
+			AttnNorm: append([]float32(nil), blk.AttnNorm...),
+			MLPNorm:  append([]float32(nil), blk.MLPNorm...),
+			Wq:       blk.Wq.CloneWeight(),
+			Wk:       blk.Wk.CloneWeight(),
+			Wv:       blk.Wv.CloneWeight(),
+			Wo:       blk.Wo.CloneWeight(),
+			MLP:      cloneMLP(blk.MLP),
+		}
+		if blk.Router != nil {
+			nb.Router = blk.Router.CloneWeight()
+			for _, ex := range blk.Experts {
+				nb.Experts = append(nb.Experts, cloneMLP(ex))
+			}
+		}
+		nm.Blocks = append(nm.Blocks, nb)
+	}
+	return nm
+}
+
+// LayerInfo pairs a layer address with its weight for site enumeration.
+type LayerInfo struct {
+	Ref    LayerRef
+	Weight Weight
+}
+
+// LinearLayers enumerates every linear layer inside the transformer
+// blocks (the paper's injection sites: ~94% of compute). The LM head is
+// excluded, matching §3.2. Order is deterministic.
+func (m *Model) LinearLayers() []LayerInfo {
+	var out []LayerInfo
+	for b, blk := range m.Blocks {
+		out = append(out,
+			LayerInfo{LayerRef{b, KindQ, -1}, blk.Wq},
+			LayerInfo{LayerRef{b, KindK, -1}, blk.Wk},
+			LayerInfo{LayerRef{b, KindV, -1}, blk.Wv},
+			LayerInfo{LayerRef{b, KindOut, -1}, blk.Wo},
+		)
+		if blk.MLP != nil {
+			out = append(out,
+				LayerInfo{LayerRef{b, KindGate, -1}, blk.MLP.WGate},
+				LayerInfo{LayerRef{b, KindUp, -1}, blk.MLP.WUp},
+				LayerInfo{LayerRef{b, KindDown, -1}, blk.MLP.WDown},
+			)
+		}
+		if blk.Router != nil {
+			out = append(out, LayerInfo{LayerRef{b, KindRouter, -1}, blk.Router})
+			for e, ex := range blk.Experts {
+				out = append(out,
+					LayerInfo{LayerRef{b, KindGate, e}, ex.WGate},
+					LayerInfo{LayerRef{b, KindUp, e}, ex.WUp},
+					LayerInfo{LayerRef{b, KindDown, e}, ex.WDown},
+				)
+			}
+		}
+	}
+	return out
+}
+
+// Layer returns the weight addressed by ref (including KindLMHead), or an
+// error if the address does not exist in this model.
+func (m *Model) Layer(ref LayerRef) (Weight, error) {
+	if ref.Kind == KindLMHead {
+		return m.LMHead, nil
+	}
+	if ref.Block < 0 || ref.Block >= len(m.Blocks) {
+		return nil, fmt.Errorf("model: block %d out of range", ref.Block)
+	}
+	blk := m.Blocks[ref.Block]
+	switch ref.Kind {
+	case KindQ:
+		return blk.Wq, nil
+	case KindK:
+		return blk.Wk, nil
+	case KindV:
+		return blk.Wv, nil
+	case KindOut:
+		return blk.Wo, nil
+	case KindRouter:
+		if blk.Router == nil {
+			return nil, fmt.Errorf("model: %v has no router (dense model)", ref)
+		}
+		return blk.Router, nil
+	case KindGate, KindUp, KindDown:
+		mlp := blk.MLP
+		if ref.Expert >= 0 {
+			if blk.Experts == nil || ref.Expert >= len(blk.Experts) {
+				return nil, fmt.Errorf("model: %v expert out of range", ref)
+			}
+			mlp = blk.Experts[ref.Expert]
+		}
+		if mlp == nil {
+			return nil, fmt.Errorf("model: %v has no MLP weights", ref)
+		}
+		switch ref.Kind {
+		case KindGate:
+			return mlp.WGate, nil
+		case KindUp:
+			return mlp.WUp, nil
+		default:
+			return mlp.WDown, nil
+		}
+	default:
+		return nil, fmt.Errorf("model: unknown layer kind %v", ref.Kind)
+	}
+}

@@ -1,0 +1,308 @@
+package numerics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTable2Traits(t *testing.T) {
+	cases := []struct {
+		dt       DType
+		bits     int
+		expBits  int
+		mantBits int
+	}{
+		{FP16, 16, 5, 10},
+		{FP32, 32, 8, 23},
+		{BF16, 16, 8, 7},
+	}
+	for _, c := range cases {
+		if got := c.dt.Bits(); got != c.bits {
+			t.Errorf("%v bits = %d, want %d", c.dt, got, c.bits)
+		}
+		if got := c.dt.ExponentBits(); got != c.expBits {
+			t.Errorf("%v exp bits = %d, want %d", c.dt, got, c.expBits)
+		}
+		if got := c.dt.MantissaBits(); got != c.mantBits {
+			t.Errorf("%v mantissa bits = %d, want %d", c.dt, got, c.mantBits)
+		}
+	}
+}
+
+func TestTable2Ranges(t *testing.T) {
+	if FP16.MaxFinite() != 65504 {
+		t.Errorf("FP16 max = %g, want 65504", FP16.MaxFinite())
+	}
+	if got := BF16.MaxFinite(); math.Abs(got-3.3895e38)/3.3895e38 > 0.01 {
+		t.Errorf("BF16 max = %g, want ~3.39e38", got)
+	}
+	if got := FP16.SmallestNormal(); got != math.Pow(2, -14) {
+		t.Errorf("FP16 smallest normal = %g, want 2^-14", got)
+	}
+	if got := BF16.SmallestNormal(); got != math.Pow(2, -126) {
+		t.Errorf("BF16 smallest normal = %g, want 2^-126", got)
+	}
+}
+
+func TestFP16KnownValues(t *testing.T) {
+	cases := []struct {
+		v    float32
+		bits uint16
+	}{
+		{0, 0x0000},
+		{1, 0x3C00},
+		{-2, 0xC000},
+		{0.5, 0x3800},
+		{65504, 0x7BFF},
+		{float32(math.Pow(2, -14)), 0x0400}, // smallest normal
+		{float32(math.Pow(2, -24)), 0x0001}, // smallest subnormal
+	}
+	for _, c := range cases {
+		if got := EncodeFP16(c.v); got != c.bits {
+			t.Errorf("EncodeFP16(%g) = %#04x, want %#04x", c.v, got, c.bits)
+		}
+		if got := DecodeFP16(c.bits); got != c.v {
+			t.Errorf("DecodeFP16(%#04x) = %g, want %g", c.bits, got, c.v)
+		}
+	}
+}
+
+func TestFP16Overflow(t *testing.T) {
+	if got := EncodeFP16(70000); got != 0x7C00 {
+		t.Errorf("EncodeFP16(70000) = %#04x, want +Inf", got)
+	}
+	if got := EncodeFP16(-70000); got != 0xFC00 {
+		t.Errorf("EncodeFP16(-70000) = %#04x, want -Inf", got)
+	}
+	// 65520 is the tie between 65504 and out-of-range 65536: IEEE rounds
+	// to even, i.e. to infinity.
+	if got := EncodeFP16(65520); got != 0x7C00 {
+		t.Errorf("EncodeFP16(65520) = %#04x, want +Inf", got)
+	}
+	if got := EncodeFP16(65519); got != 0x7BFF {
+		t.Errorf("EncodeFP16(65519) = %#04x, want max finite", got)
+	}
+}
+
+func TestFP16Underflow(t *testing.T) {
+	tiny := float32(math.Pow(2, -26)) // below half the smallest subnormal
+	if got := EncodeFP16(tiny); got != 0 {
+		t.Errorf("EncodeFP16(2^-26) = %#04x, want 0", got)
+	}
+	// 2^-25 ties between 0 and the smallest subnormal; even = 0.
+	if got := EncodeFP16(float32(math.Pow(2, -25))); got != 0 {
+		t.Errorf("EncodeFP16(2^-25) = %#04x, want 0 (ties to even)", got)
+	}
+	justAbove := float32(math.Pow(2, -25) * 1.5)
+	if got := EncodeFP16(justAbove); got != 1 {
+		t.Errorf("EncodeFP16(1.5*2^-25) = %#04x, want 1", got)
+	}
+}
+
+func TestFP16NaN(t *testing.T) {
+	nan := float32(math.NaN())
+	h := EncodeFP16(nan)
+	if h&0x7C00 != 0x7C00 || h&0x3FF == 0 {
+		t.Errorf("EncodeFP16(NaN) = %#04x, not a NaN pattern", h)
+	}
+	if !math.IsNaN(float64(DecodeFP16(h))) {
+		t.Error("DecodeFP16 of NaN pattern is not NaN")
+	}
+}
+
+func TestBF16Truncation(t *testing.T) {
+	// bfloat16 is float32's upper half: decoding any pattern then
+	// re-encoding must be the identity (except NaN payloads).
+	for _, h := range []uint16{0x0000, 0x3F80, 0xC000, 0x7F7F, 0x0080, 0x0001} {
+		if got := EncodeBF16(DecodeBF16(h)); got != h {
+			t.Errorf("BF16 roundtrip %#04x -> %#04x", h, got)
+		}
+	}
+	if DecodeBF16(0x3F80) != 1.0 {
+		t.Error("BF16 0x3F80 should decode to 1.0")
+	}
+}
+
+// TestRoundIdempotent checks Round(Round(x)) == Round(x) for all formats.
+func TestRoundIdempotent(t *testing.T) {
+	f := func(v float64) bool {
+		for _, dt := range []DType{FP16, BF16, FP32} {
+			once := Round(dt, v)
+			twice := Round(dt, once)
+			if once != twice && !(math.IsNaN(once) && math.IsNaN(twice)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEncodeDecodeRoundtrip checks that decoding any 16-bit pattern and
+// re-encoding reproduces the pattern (canonical-form property) for FP16.
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	for h := 0; h < 1<<16; h++ {
+		v := DecodeFP16(uint16(h))
+		if math.IsNaN(float64(v)) {
+			continue // NaN payloads are canonicalized
+		}
+		if got := EncodeFP16(v); got != uint16(h) {
+			t.Fatalf("FP16 pattern %#04x decodes to %g, re-encodes to %#04x", h, v, got)
+		}
+	}
+}
+
+// TestFP16MatchesReference cross-checks the encoder against a slow
+// arithmetic reference over random values.
+func TestFP16MatchesReference(t *testing.T) {
+	ref := func(v float32) uint16 {
+		// Reference: use float64 math to find nearest representable.
+		abs := math.Abs(float64(v))
+		sign := uint16(0)
+		if math.Signbit(float64(v)) {
+			sign = 0x8000
+		}
+		switch {
+		case math.IsNaN(float64(v)):
+			return sign | 0x7E00
+		case abs > 65519: // rounds past max finite
+			return sign | 0x7C00
+		case abs < math.Pow(2, -25), abs == math.Pow(2, -25):
+			if abs == math.Pow(2, -25) {
+				return sign // tie to even zero
+			}
+			return sign
+		}
+		// Find exponent.
+		e := math.Floor(math.Log2(abs))
+		if e < -14 {
+			e = -14 // subnormal
+		}
+		if e > 15 {
+			e = 15
+		}
+		m := abs/math.Pow(2, e)*1024 - 1024
+		if e == -14 && abs < math.Pow(2, -14) {
+			m = abs / math.Pow(2, -24) // subnormal mantissa units
+			// round half to even
+			mr := math.Round(m)
+			if math.Abs(m-math.Trunc(m)-0.5) < 1e-12 {
+				mr = math.Trunc(m)
+				if math.Mod(mr, 2) == 1 {
+					mr++
+				}
+			}
+			return sign | uint16(mr)
+		}
+		mr := math.Round(m)
+		if math.Abs(m-math.Trunc(m)-0.5) < 1e-12 {
+			mr = math.Trunc(m)
+			if math.Mod(mr, 2) == 1 {
+				mr++
+			}
+		}
+		if mr >= 1024 {
+			mr = 0
+			e++
+			if e > 15 {
+				return sign | 0x7C00
+			}
+		}
+		return sign | uint16(e+15)<<10 | uint16(mr)
+	}
+	f := func(v float32) bool {
+		got := EncodeFP16(v)
+		want := ref(v)
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFlipBitInvolution: flipping the same bit twice restores the value.
+func TestFlipBitInvolution(t *testing.T) {
+	f := func(v float64, posRaw uint8) bool {
+		for _, dt := range []DType{FP16, BF16, FP32} {
+			pos := int(posRaw) % dt.Bits()
+			canon := Round(dt, v)
+			if math.IsNaN(canon) {
+				continue
+			}
+			flipped := FlipBit(dt, canon, pos)
+			if math.IsNaN(flipped) {
+				// NaN payloads are canonicalized on encode, so the flip
+				// is not invertible through a NaN — by design.
+				continue
+			}
+			back := FlipBit(dt, flipped, pos)
+			if back != canon && !(math.IsNaN(back) && math.IsNaN(canon)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlipBitsMSBExplosion(t *testing.T) {
+	// Flipping the exponent MSB of a small BF16 weight produces a huge
+	// value — the paper's 0.5 -> ~1.7e38 example.
+	got := FlipBit(BF16, 0.5, 14)
+	if math.Abs(got-1.7014118e38)/1.7014118e38 > 1e-3 {
+		t.Errorf("BF16 MSB flip of 0.5 = %g, want ~1.7e38", got)
+	}
+	// In FP16 the same logical flip is bounded by 65504.
+	got16 := FlipBit(FP16, 0.5, 13) // FP16 exponent MSB is bit 13
+	if math.Abs(got16) > 65504 {
+		t.Errorf("FP16 exponent-MSB flip exceeded max finite: %g", got16)
+	}
+}
+
+func TestClassifyBit(t *testing.T) {
+	if ClassifyBit(BF16, 15) != SignBit {
+		t.Error("BF16 bit 15 should be sign")
+	}
+	if ClassifyBit(BF16, 14) != ExponentBit {
+		t.Error("BF16 bit 14 should be exponent")
+	}
+	if ClassifyBit(BF16, 6) != MantissaBit {
+		t.Error("BF16 bit 6 should be mantissa")
+	}
+	if ClassifyBit(FP16, 10) != ExponentBit {
+		t.Error("FP16 bit 10 should be exponent")
+	}
+	if ClassifyBit(FP16, 9) != MantissaBit {
+		t.Error("FP16 bit 9 should be mantissa")
+	}
+	if ClassifyBit(FP32, 31) != SignBit {
+		t.Error("FP32 bit 31 should be sign")
+	}
+}
+
+func TestIsDegenerate(t *testing.T) {
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), 1e31, -2e35} {
+		if !IsDegenerate(v) {
+			t.Errorf("IsDegenerate(%g) = false", v)
+		}
+	}
+	for _, v := range []float64{0, 1, -65504, 1e29} {
+		if IsDegenerate(v) {
+			t.Errorf("IsDegenerate(%g) = true", v)
+		}
+	}
+}
+
+func TestFlipBitPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for out-of-range bit")
+		}
+	}()
+	FlipBit(FP16, 1, 16)
+}

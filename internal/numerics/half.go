@@ -1,0 +1,99 @@
+package numerics
+
+import "math"
+
+// rshiftRNE right-shifts x by s with IEEE round-to-nearest-even on the
+// discarded bits. s must be in [1, 31].
+func rshiftRNE(x uint32, s uint) uint32 {
+	kept := x >> s
+	rem := x & (1<<s - 1)
+	half := uint32(1) << (s - 1)
+	if rem > half || (rem == half && kept&1 == 1) {
+		kept++
+	}
+	return kept
+}
+
+// EncodeFP16 converts f to IEEE 754 binary16 with round-to-nearest-even.
+// Overflow yields ±Inf; values below the subnormal range flush to ±0 by
+// rounding, and subnormal halves are produced where required.
+func EncodeFP16(f float32) uint16 {
+	b := math.Float32bits(f)
+	sign := uint16(b>>16) & 0x8000
+	abs := b & 0x7FFFFFFF
+
+	switch {
+	case abs >= 0x7F800000: // Inf or NaN
+		if abs > 0x7F800000 {
+			return sign | 0x7E00 // quiet NaN
+		}
+		return sign | 0x7C00
+	case abs >= 0x38800000: // normal fp16 range (>= 2^-14) before rounding
+		// Rebias the exponent and round the 13 dropped mantissa bits;
+		// a rounding carry propagates into the exponent because the
+		// encoding is monotone. Overflow past exponent 0x1E becomes Inf.
+		lsb := (abs >> 13) & 1
+		rounded := abs + 0xFFF + lsb
+		if rounded >= 0x47800000 {
+			return sign | 0x7C00
+		}
+		return sign | uint16((rounded-0x38000000)>>13)
+	case abs < 0x33000000: // below 2^-25: rounds to zero
+		return sign
+	default: // subnormal fp16: value in [2^-25, 2^-14)
+		// result = round(value * 2^24) with the implicit leading 1 made
+		// explicit. A carry past 10 bits lands exactly on the smallest
+		// normal encoding, again because the encoding is monotone.
+		mant := abs&0x7FFFFF | 0x800000
+		shift := uint(126 - abs>>23) // == -(E+1) for unbiased exponent E; in [14, 24]
+		return sign | uint16(rshiftRNE(mant, shift))
+	}
+}
+
+// DecodeFP16 converts an IEEE 754 binary16 bit pattern to float32.
+func DecodeFP16(h uint16) float32 {
+	sign := uint32(h&0x8000) << 16
+	exp := uint32(h>>10) & 0x1F
+	mant := uint32(h & 0x3FF)
+
+	switch {
+	case exp == 0x1F: // Inf / NaN
+		if mant != 0 {
+			return math.Float32frombits(sign | 0x7FC00000 | mant<<13)
+		}
+		return math.Float32frombits(sign | 0x7F800000)
+	case exp == 0:
+		if mant == 0 {
+			return math.Float32frombits(sign)
+		}
+		// Subnormal: normalize into float32.
+		e := int32(-14)
+		for mant&0x400 == 0 {
+			mant <<= 1
+			e--
+		}
+		mant &= 0x3FF
+		return math.Float32frombits(sign | uint32(e+127)<<23 | mant<<13)
+	default:
+		return math.Float32frombits(sign | (exp+112)<<23 | mant<<13)
+	}
+}
+
+// EncodeBF16 converts f to bfloat16 with round-to-nearest-even. bfloat16
+// is the upper half of float32, so rounding adds half of the dropped
+// low 16 bits (with the tie broken toward even).
+func EncodeBF16(f float32) uint16 {
+	b := math.Float32bits(f)
+	if math.IsNaN(float64(f)) {
+		// Preserve NaN; force a quiet NaN with nonzero mantissa.
+		return uint16(b>>16) | 0x0040
+	}
+	round := uint32(0x7FFF + (b>>16)&1)
+	return uint16((b + round) >> 16)
+}
+
+// DecodeBF16 converts a bfloat16 bit pattern to float32 by placing it in
+// the upper half of a float32 word.
+func DecodeBF16(h uint16) float32 {
+	return math.Float32frombits(uint32(h) << 16)
+}

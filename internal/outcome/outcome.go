@@ -1,0 +1,198 @@
+// Package outcome classifies fault-injection results following §3.2 and
+// §4.1.1 of the paper: an experiment is Masked when the model's answer
+// matches the reference, and a Silent Data Corruption (SDC) otherwise;
+// SDCs subdivide into "distorted" outputs (repeated or meaningless
+// tokens, the Figure 7 top pattern) and "subtly wrong" outputs (fluent
+// but incorrect content).
+package outcome
+
+import "fmt"
+
+// Class is the outcome of one fault-injection trial.
+type Class int
+
+const (
+	// Masked: the fault did not change the task answer.
+	Masked Class = iota
+	// SDCSubtle: the answer changed but the output remains structurally
+	// well-formed ("subtly wrong").
+	SDCSubtle
+	// SDCDistorted: the output degenerated into repetition, truncation, or
+	// garbage tokens.
+	SDCDistorted
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case Masked:
+		return "Masked"
+	case SDCSubtle:
+		return "SDC-subtle"
+	case SDCDistorted:
+		return "SDC-distorted"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// IsSDC reports whether the class is either SDC kind.
+func (c Class) IsSDC() bool { return c != Masked }
+
+// Analysis carries the classification with its evidence.
+type Analysis struct {
+	Class Class
+	// RepetitionFrac is the fraction of the output covered by the longest
+	// short-period repetition.
+	RepetitionFrac float64
+	// BaselineRepetitionFrac is the same measure on the fault-free output.
+	BaselineRepetitionFrac float64
+	// LengthRatio is len(faulty)/max(1, len(baseline)).
+	LengthRatio float64
+	// Changed reports whether any token differs from the baseline.
+	Changed bool
+}
+
+// Thresholds tune the distortion detector. Zero value means defaults.
+type Thresholds struct {
+	// RepetitionFrac above which (in excess of the baseline's own
+	// repetition) an output counts as distorted. Default 0.5.
+	RepetitionFrac float64
+	// LengthExplosion is the length ratio beyond which an output counts
+	// as distorted. Default 3.
+	LengthExplosion float64
+}
+
+func (t Thresholds) withDefaults() Thresholds {
+	if t.RepetitionFrac == 0 {
+		t.RepetitionFrac = 0.5
+	}
+	if t.LengthExplosion == 0 {
+		t.LengthExplosion = 3
+	}
+	return t
+}
+
+// Classify compares a faulty generation against the fault-free baseline
+// of the same model and input. answerMatches tells whether the
+// task-level answer (extracted by the task suite: the chosen option, the
+// number after '#', or the full text for quality tasks) agrees with the
+// reference.
+func Classify(faulty, baseline []int, answerMatches bool, th Thresholds) Analysis {
+	th = th.withDefaults()
+	a := Analysis{
+		RepetitionFrac:         repetitionFrac(faulty),
+		BaselineRepetitionFrac: repetitionFrac(baseline),
+		Changed:                !equalTokens(faulty, baseline),
+	}
+	bl := len(baseline)
+	if bl == 0 {
+		bl = 1
+	}
+	a.LengthRatio = float64(len(faulty)) / float64(bl)
+
+	distorted := false
+	if a.RepetitionFrac > a.BaselineRepetitionFrac+th.RepetitionFrac {
+		distorted = true
+	}
+	if a.LengthRatio >= th.LengthExplosion && len(faulty) >= 8 {
+		distorted = true
+	}
+	if len(faulty) == 0 && len(baseline) > 0 {
+		distorted = true
+	}
+
+	switch {
+	case distorted:
+		a.Class = SDCDistorted
+	case answerMatches:
+		a.Class = Masked
+	default:
+		a.Class = SDCSubtle
+	}
+	return a
+}
+
+func equalTokens(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if v != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// repetitionFrac returns the fraction of tokens covered by the longest
+// contiguous repetition of a period-1..4 pattern. A healthy sentence
+// scores near 0; the classic fault signature "the the the the ..." or
+// "x y x y x y ..." scores near 1.
+func repetitionFrac(toks []int) float64 {
+	n := len(toks)
+	if n < 4 {
+		return 0
+	}
+	best := 0
+	for period := 1; period <= 4; period++ {
+		run := 0
+		longest := 0
+		for i := period; i < n; i++ {
+			if toks[i] == toks[i-period] {
+				run++
+				if run > longest {
+					longest = run
+				}
+			} else {
+				run = 0
+			}
+		}
+		// A run of k matches at period p covers k+p tokens.
+		if longest > 0 && longest+period > best {
+			best = longest + period
+		}
+	}
+	if best < 2*1 { // require at least one full repeat
+		return 0
+	}
+	return float64(best) / float64(n)
+}
+
+// Tally accumulates outcome counts across a campaign.
+type Tally struct {
+	Masked, Subtle, Distorted int
+}
+
+// Add records one analysis.
+func (t *Tally) Add(a Analysis) {
+	switch a.Class {
+	case Masked:
+		t.Masked++
+	case SDCSubtle:
+		t.Subtle++
+	default:
+		t.Distorted++
+	}
+}
+
+// Total returns the number of recorded trials.
+func (t *Tally) Total() int { return t.Masked + t.Subtle + t.Distorted }
+
+// SDCRate returns the fraction of trials that were SDCs.
+func (t *Tally) SDCRate() float64 {
+	n := t.Total()
+	if n == 0 {
+		return 0
+	}
+	return float64(t.Subtle+t.Distorted) / float64(n)
+}
+
+// DistortedFrac returns the distorted share of all trials.
+func (t *Tally) DistortedFrac() float64 {
+	n := t.Total()
+	if n == 0 {
+		return 0
+	}
+	return float64(t.Distorted) / float64(n)
+}

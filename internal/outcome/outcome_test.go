@@ -1,0 +1,143 @@
+package outcome
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/prng"
+)
+
+func seq(vals ...int) []int { return vals }
+
+func TestMaskedWhenAnswerMatches(t *testing.T) {
+	base := seq(5, 6, 7, 8)
+	a := Classify(seq(5, 6, 7, 8), base, true, Thresholds{})
+	if a.Class != Masked || a.Changed {
+		t.Fatalf("identical output should be Masked, got %v", a.Class)
+	}
+	// Changed tokens but matching answer is still Masked (e.g. a
+	// different-but-correct reasoning chain).
+	a = Classify(seq(5, 9, 7, 8), base, true, Thresholds{})
+	if a.Class != Masked || !a.Changed {
+		t.Fatalf("changed-but-correct should be Masked+Changed, got %+v", a)
+	}
+}
+
+func TestSubtleWrong(t *testing.T) {
+	base := seq(5, 6, 7, 8)
+	a := Classify(seq(5, 6, 9, 8), base, false, Thresholds{})
+	if a.Class != SDCSubtle {
+		t.Fatalf("got %v", a.Class)
+	}
+}
+
+func TestDistortedRepetition(t *testing.T) {
+	base := seq(5, 6, 7, 8, 9, 10)
+	rep := seq(4, 4, 4, 4, 4, 4, 4, 4, 4, 4)
+	a := Classify(rep, base, false, Thresholds{})
+	if a.Class != SDCDistorted {
+		t.Fatalf("pure repetition should be distorted, got %v (repFrac %f)", a.Class, a.RepetitionFrac)
+	}
+}
+
+func TestDistortedPeriodTwoRepetition(t *testing.T) {
+	base := seq(5, 6, 7, 8, 9, 10)
+	rep := seq(4, 9, 4, 9, 4, 9, 4, 9, 4, 9)
+	a := Classify(rep, base, false, Thresholds{})
+	if a.Class != SDCDistorted {
+		t.Fatalf("period-2 repetition should be distorted, got %v", a.Class)
+	}
+}
+
+func TestDistortedLengthExplosion(t *testing.T) {
+	base := seq(5, 6, 7)
+	long := make([]int, 30)
+	for i := range long {
+		long[i] = 5 + i // no repetition, just runaway length
+	}
+	a := Classify(long, base, false, Thresholds{})
+	if a.Class != SDCDistorted {
+		t.Fatalf("length explosion should be distorted, got %v", a.Class)
+	}
+}
+
+func TestDistortedEmptyOutput(t *testing.T) {
+	base := seq(5, 6, 7)
+	a := Classify(nil, base, false, Thresholds{})
+	if a.Class != SDCDistorted {
+		t.Fatalf("empty output should be distorted, got %v", a.Class)
+	}
+}
+
+func TestRepetitiveBaselineNotPenalized(t *testing.T) {
+	// If the fault-free output is itself repetitive (untrained models),
+	// equally-repetitive faulty output is not "distorted".
+	base := seq(4, 4, 4, 4, 4, 4, 4, 4)
+	faulty := seq(5, 5, 5, 5, 5, 5, 5, 5)
+	a := Classify(faulty, base, false, Thresholds{})
+	if a.Class == SDCDistorted {
+		t.Fatal("matching baseline repetition should not count as distortion")
+	}
+}
+
+func TestRepetitionFrac(t *testing.T) {
+	if f := repetitionFrac(seq(1, 2, 3, 4, 5)); f != 0 {
+		t.Fatalf("distinct tokens repFrac = %f", f)
+	}
+	if f := repetitionFrac(seq(7, 7, 7, 7)); f < 0.9 {
+		t.Fatalf("constant tokens repFrac = %f", f)
+	}
+	if f := repetitionFrac(seq(1, 2)); f != 0 {
+		t.Fatalf("too-short sequence repFrac = %f", f)
+	}
+}
+
+// Property: classification is deterministic and the analysis fields are
+// consistent (Changed false implies Masked given answer match).
+func TestClassifyConsistency(t *testing.T) {
+	f := func(seed uint64, nb, nf uint8) bool {
+		src := prng.New(seed)
+		mk := func(n int) []int {
+			out := make([]int, n)
+			for i := range out {
+				out[i] = src.Intn(6) + 4
+			}
+			return out
+		}
+		base := mk(int(nb%12) + 1)
+		faulty := mk(int(nf % 16))
+		match := src.Float64() < 0.5
+		a := Classify(faulty, base, match, Thresholds{})
+		b := Classify(faulty, base, match, Thresholds{})
+		if a != b {
+			return false
+		}
+		if !a.Changed && match && a.Class != Masked {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTally(t *testing.T) {
+	var tl Tally
+	tl.Add(Analysis{Class: Masked})
+	tl.Add(Analysis{Class: SDCSubtle})
+	tl.Add(Analysis{Class: SDCSubtle})
+	tl.Add(Analysis{Class: SDCDistorted})
+	if tl.Total() != 4 || tl.SDCRate() != 0.75 || tl.DistortedFrac() != 0.25 {
+		t.Fatalf("tally %+v", tl)
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	if Masked.String() != "Masked" || Masked.IsSDC() {
+		t.Fatal("Masked")
+	}
+	if !SDCSubtle.IsSDC() || !SDCDistorted.IsSDC() {
+		t.Fatal("SDC classes")
+	}
+}

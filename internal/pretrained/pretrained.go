@@ -1,0 +1,236 @@
+// Package pretrained is the registry of trained model checkpoints: which
+// task-skilled models exist, how each is trained (architecture, seed,
+// fine-tuning lineage), and how to load them from disk. It is shared by
+// cmd/pretrain (which produces the checkpoints) and the experiment
+// harness (which consumes them).
+//
+// The roster mirrors Table 1's model column:
+//
+//	GSM8k          → math-qwens, math-falcons
+//	WMT16 de-en    → wmt-qwens, wmt-llamas, wmt-alma (fine-tuned)
+//	XLSum          → xlsum-llamas, xlsum-qwens, xlsum-summarizer (fine-tuned)
+//	SQuAD v2       → squad-llamas, squad-qwens, squad-falcons
+package pretrained
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/model"
+	"repro/internal/numerics"
+	"repro/internal/tasks"
+	"repro/internal/train"
+)
+
+// Job describes one checkpoint.
+type Job struct {
+	Name string
+	Task string // math | translation | summarization | qa
+	Arch model.Config
+	Seed uint64
+	// Base names the checkpoint this one fine-tunes from ("" = trained
+	// from scratch).
+	Base  string
+	DType numerics.DType
+	// Steps and Batch are the training budget that produces the shipped
+	// checkpoint. General-purpose checkpoints deliberately stop short of
+	// convergence on some tasks; fine-tunes (Base != "") train Steps
+	// *additional* steps from their base, reaching near-perfect task
+	// performance — the general-vs-specialized contrast of Observation #4.
+	Steps int
+	Batch int
+}
+
+// MathOperandMax bounds the arithmetic task's operands.
+const MathOperandMax = 9
+
+var (
+	taskOnce  sync.Once
+	mathTask  *tasks.MathTask
+	transTask *tasks.TranslationTask
+	summTask  *tasks.SummTask
+	qaTask    *tasks.QATask
+)
+
+func initTasks() {
+	taskOnce.Do(func() {
+		mathTask = tasks.NewMathTask(MathOperandMax)
+		transTask = tasks.NewTranslationTask()
+		summTask = tasks.NewSummTask()
+		qaTask = tasks.NewQATask()
+	})
+}
+
+// MathTask returns the shared arithmetic task instance.
+func MathTask() *tasks.MathTask { initTasks(); return mathTask }
+
+// TranslationTask returns the shared translation task instance.
+func TranslationTask() *tasks.TranslationTask { initTasks(); return transTask }
+
+// SummTask returns the shared summarization task instance.
+func SummTask() *tasks.SummTask { initTasks(); return summTask }
+
+// QATask returns the shared QA task instance.
+func QATask() *tasks.QATask { initTasks(); return qaTask }
+
+// TaskByName resolves a task name to its TrainTask.
+func TaskByName(name string) tasks.TrainTask {
+	initTasks()
+	switch name {
+	case "math":
+		return mathTask
+	case "translation":
+		return transTask
+	case "summarization":
+		return summTask
+	case "qa":
+		return qaTask
+	default:
+		panic(fmt.Sprintf("pretrained: unknown task %q", name))
+	}
+}
+
+func arch(name string, d, heads, blocks, ff, maxSeq int) model.Config {
+	return model.Config{
+		Name: name, Vocab: 8 /* overwritten from task */, DModel: d,
+		NHeads: heads, NBlocks: blocks, FFHidden: ff, MaxSeq: maxSeq,
+		Eps: 1e-5, RopeTheta: 10000,
+	}
+}
+
+// Jobs returns the full checkpoint roster in training order (bases before
+// fine-tunes).
+func Jobs() []Job {
+	mathArch := arch("math", 48, 4, 2, 112, 28)
+	wmtArch := arch("wmt", 40, 4, 2, 96, 26)
+	xlsumArch := arch("xlsum", 40, 4, 2, 96, 32)
+	squadArch := arch("squad", 32, 4, 2, 64, 26)
+	bf := numerics.BF16
+	return []Job{
+		{Name: "math-qwens", Task: "math", Arch: mathArch, Seed: 11, DType: bf, Steps: 1100, Batch: 32},
+		{Name: "math-falcons", Task: "math", Arch: mathArch, Seed: 12, DType: bf, Steps: 1100, Batch: 32},
+		{Name: "wmt-qwens", Task: "translation", Arch: wmtArch, Seed: 21, DType: bf, Steps: 380, Batch: 16},
+		{Name: "wmt-llamas", Task: "translation", Arch: wmtArch, Seed: 22, DType: bf, Steps: 380, Batch: 16},
+		{Name: "wmt-alma", Task: "translation", Arch: wmtArch, Seed: 23, Base: "wmt-llamas", DType: bf, Steps: 700, Batch: 16},
+		{Name: "xlsum-llamas", Task: "summarization", Arch: xlsumArch, Seed: 31, DType: bf, Steps: 130, Batch: 16},
+		{Name: "xlsum-qwens", Task: "summarization", Arch: xlsumArch, Seed: 32, DType: bf, Steps: 130, Batch: 16},
+		{Name: "xlsum-summarizer", Task: "summarization", Arch: xlsumArch, Seed: 33, Base: "xlsum-llamas", DType: bf, Steps: 400, Batch: 16},
+		{Name: "squad-llamas", Task: "qa", Arch: squadArch, Seed: 41, DType: bf, Steps: 800, Batch: 32},
+		{Name: "squad-qwens", Task: "qa", Arch: squadArch, Seed: 42, DType: bf, Steps: 800, Batch: 32},
+		{Name: "squad-falcons", Task: "qa", Arch: squadArch, Seed: 43, DType: bf, Steps: 800, Batch: 32},
+	}
+}
+
+// JobByName looks up one job.
+func JobByName(name string) (Job, error) {
+	for _, j := range Jobs() {
+		if j.Name == name {
+			return j, nil
+		}
+	}
+	return Job{}, fmt.Errorf("pretrained: unknown checkpoint %q", name)
+}
+
+// Loader loads checkpoints from a directory, caching them. If a
+// checkpoint file is missing and Fallback is true, the model is trained
+// on the fly with FallbackSteps steps (slower and lower quality, but
+// keeps tests and examples self-contained).
+type Loader struct {
+	Dir           string
+	Fallback      bool
+	FallbackSteps int
+
+	mu    sync.Mutex
+	cache map[string]*model.Model
+}
+
+// NewLoader returns a Loader over dir with on-the-fly fallback enabled.
+func NewLoader(dir string) *Loader {
+	return &Loader{Dir: dir, Fallback: true, FallbackSteps: 220, cache: map[string]*model.Model{}}
+}
+
+// DefaultDir locates the repository's checkpoint directory: the
+// "pretrained" directory next to go.mod, found by walking up from the
+// working directory (tests run from their package directory). It returns
+// "pretrained" if no module root is found.
+func DefaultDir() string {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "pretrained"
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return filepath.Join(dir, "pretrained")
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			break
+		}
+		dir = parent
+	}
+	return "pretrained"
+}
+
+// Load returns the named checkpoint.
+func (l *Loader) Load(name string) (*model.Model, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if m, ok := l.cache[name]; ok {
+		return m, nil
+	}
+	path := filepath.Join(l.Dir, name+".gob")
+	if m, err := model.LoadFile(path); err == nil {
+		l.cache[name] = m
+		return m, nil
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("pretrained: %s: %w", path, err)
+	}
+	if !l.Fallback {
+		return nil, fmt.Errorf("pretrained: checkpoint %s missing (run cmd/pretrain)", path)
+	}
+	m, err := l.trainFallback(name)
+	if err != nil {
+		return nil, err
+	}
+	l.cache[name] = m
+	return m, nil
+}
+
+// trainFallback trains the job (and its base, recursively) in-process.
+func (l *Loader) trainFallback(name string) (*model.Model, error) {
+	job, err := JobByName(name)
+	if err != nil {
+		return nil, err
+	}
+	task := TaskByName(job.Task)
+	cfg := train.DefaultConfig(job.Seed)
+	cfg.Steps = l.FallbackSteps
+	cfg.EvalEvery = 0
+
+	var tr *train.Trainable
+	if job.Base == "" {
+		if tr, err = train.Run(task, job.Arch, cfg); err != nil {
+			return nil, err
+		}
+	} else {
+		baseJob, err := JobByName(job.Base)
+		if err != nil {
+			return nil, err
+		}
+		baseCfg := cfg
+		baseCfg.Seed = baseJob.Seed
+		base, err := train.Run(task, baseJob.Arch, baseCfg)
+		if err != nil {
+			return nil, err
+		}
+		tr = base.CloneWeights()
+		ftCfg := cfg
+		ftCfg.Steps = l.FallbackSteps
+		if err := train.Continue(tr, task, ftCfg); err != nil {
+			return nil, err
+		}
+	}
+	return tr.Export(job.Name, job.DType), nil
+}

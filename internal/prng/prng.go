@@ -1,0 +1,139 @@
+// Package prng provides a deterministic, splittable pseudo-random number
+// generator used throughout the fault-injection campaigns.
+//
+// Reproducibility is a hard requirement of the methodology (§3.3.4 of the
+// paper fixes seeds so fault-free and fault-injected runs visit the same
+// injection sites). math/rand is avoided so that streams can be split
+// hierarchically: a campaign seed deterministically derives an independent
+// stream per trial, which in turn derives per-decision values. Splitting
+// keeps trials independent of evaluation order, so campaigns may be
+// executed by any number of workers and still produce identical results.
+package prng
+
+import (
+	"math"
+	"math/bits"
+)
+
+// splitmix64 advances the state and returns the next output of the
+// SplitMix64 generator (Steele, Lea & Flood, OOPSLA 2014). It is used both
+// as a stream seeder and as the mixing function for Split.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Source is a xoshiro256** generator. The zero value is not useful; create
+// instances with New or by splitting an existing Source.
+type Source struct {
+	s [4]uint64
+	// id is the immutable seed fingerprint; Split derives children from
+	// it so splitting is independent of how many values the parent has
+	// emitted.
+	id uint64
+}
+
+// New returns a Source seeded deterministically from seed. Distinct seeds
+// yield (with overwhelming probability) non-overlapping streams.
+func New(seed uint64) *Source {
+	var src Source
+	sm := seed
+	src.id = splitmix64(&sm)
+	sm = seed
+	for i := range src.s {
+		src.s[i] = splitmix64(&sm)
+	}
+	// xoshiro256** must not be seeded with the all-zero state.
+	if src.s[0]|src.s[1]|src.s[2]|src.s[3] == 0 {
+		src.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &src
+}
+
+// Uint64 returns the next 64 random bits.
+func (src *Source) Uint64() uint64 {
+	s := &src.s
+	result := bits.RotateLeft64(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = bits.RotateLeft64(s[3], 45)
+	return result
+}
+
+// Split derives an independent child Source identified by index. Splitting
+// does not advance the parent, and the same (parent seed, index) pair
+// always yields the same child regardless of how many values the parent
+// has produced — campaign trials stay order-independent under any worker
+// schedule.
+func (src *Source) Split(index uint64) *Source {
+	// Mix the immutable seed fingerprint with the index through SplitMix64
+	// twice to decorrelate nearby indices.
+	h := src.id ^ index*0xd1342543de82ef95
+	_ = splitmix64(&h)
+	return New(splitmix64(&h))
+}
+
+// Intn returns a uniformly distributed integer in [0, n). It panics if
+// n <= 0, mirroring math/rand.
+func (src *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("prng: Intn called with n <= 0")
+	}
+	// Lemire's nearly-divisionless bounded sampling.
+	v := src.Uint64()
+	hi, lo := bits.Mul64(v, uint64(n))
+	if lo < uint64(n) {
+		thresh := uint64(-n) % uint64(n)
+		for lo < thresh {
+			v = src.Uint64()
+			hi, lo = bits.Mul64(v, uint64(n))
+		}
+	}
+	return int(hi)
+}
+
+// Float64 returns a uniformly distributed value in [0, 1).
+func (src *Source) Float64() float64 {
+	return float64(src.Uint64()>>11) / (1 << 53)
+}
+
+// NormFloat64 returns a standard normal variate (mean 0, stddev 1) using
+// the Marsaglia polar method.
+func (src *Source) NormFloat64() float64 {
+	for {
+		u := 2*src.Float64() - 1
+		v := 2*src.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// Perm returns a random permutation of [0, n) (Fisher-Yates).
+func (src *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := src.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (src *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := src.Intn(i + 1)
+		swap(i, j)
+	}
+}

@@ -1,0 +1,171 @@
+package prng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	c := New(43)
+	same := 0
+	a = New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds collide on %d/100 outputs", same)
+	}
+}
+
+func TestSplitOrderIndependence(t *testing.T) {
+	// A child stream must not depend on how much the parent has emitted.
+	p1 := New(7)
+	c1 := p1.Split(5).Uint64()
+	p2 := New(7)
+	for i := 0; i < 50; i++ {
+		p2.Uint64()
+	}
+	c2 := p2.Split(5).Uint64()
+	if c1 != c2 {
+		t.Fatal("Split depends on parent consumption")
+	}
+}
+
+func TestSplitChildrenIndependent(t *testing.T) {
+	p := New(9)
+	seen := map[uint64]bool{}
+	for i := uint64(0); i < 200; i++ {
+		v := p.Split(i).Uint64()
+		if seen[v] {
+			t.Fatalf("children collide at index %d", i)
+		}
+		seen[v] = true
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	f := func(seed uint64, nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		src := New(seed)
+		for i := 0; i < 20; i++ {
+			v := src.Intn(n)
+			if v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	src := New(123)
+	const n, trials = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[src.Intn(n)]++
+	}
+	want := float64(trials) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want)/want > 0.05 {
+			t.Errorf("bucket %d: %d (want ~%.0f)", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	src := New(5)
+	for i := 0; i < 10000; i++ {
+		v := src.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %g", v)
+		}
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	src := New(77)
+	const n = 200000
+	var sum, ss float64
+	for i := 0; i < n; i++ {
+		v := src.NormFloat64()
+		sum += v
+		ss += v * v
+	}
+	mean := sum / n
+	variance := ss/n - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Errorf("normal mean %.4f, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Errorf("normal variance %.4f, want ~1", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		p := New(seed).Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	src := New(3)
+	src.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	sum := 0
+	for _, v := range xs {
+		sum += v
+	}
+	if sum != 28 {
+		t.Fatal("shuffle lost elements")
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	src := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = src.Uint64()
+	}
+}
+
+func BenchmarkSplit(b *testing.B) {
+	src := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = src.Split(uint64(i))
+	}
+}

@@ -1,0 +1,90 @@
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// WriteTrialsCSV dumps every trial of a campaign result as CSV for
+// offline analysis/plotting: one row per injection with its site, the
+// outcome class, and the per-metric scores. Columns:
+//
+//	trial,instance,fault,layer,row,col,bits,highest_bit,gen_iter,fired,
+//	outcome,changed,expert_changed,steps,<one column per suite metric>
+func WriteTrialsCSV(w io.Writer, res *core.Result) error {
+	cw := csv.NewWriter(w)
+	kinds := res.Campaign.Suite.Metrics
+	header := []string{
+		"trial", "instance", "fault", "layer", "row", "col", "bits",
+		"highest_bit", "gen_iter", "fired", "outcome", "changed",
+		"expert_changed", "steps",
+	}
+	for _, k := range kinds {
+		header = append(header, string(k))
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i, tr := range res.Trials {
+		row := []string{
+			strconv.Itoa(i),
+			strconv.Itoa(tr.Instance),
+			tr.Site.Fault.String(),
+			tr.Site.Layer.String(),
+			strconv.Itoa(tr.Site.Row),
+			strconv.Itoa(tr.Site.Col),
+			fmt.Sprint(tr.Site.Bits),
+			strconv.Itoa(tr.Site.HighestBit()),
+			strconv.Itoa(tr.Site.GenIter),
+			strconv.FormatBool(tr.Fired),
+			tr.Outcome.Class.String(),
+			strconv.FormatBool(tr.Outcome.Changed),
+			strconv.FormatBool(tr.ExpertChanged),
+			strconv.Itoa(tr.Steps),
+		}
+		for _, k := range kinds {
+			row = append(row, strconv.FormatFloat(tr.Metrics[k], 'g', 6, 64))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteSummaryCSV writes one row per metric with the campaign's
+// normalized performance and interval — the figure-ready aggregate.
+func WriteSummaryCSV(w io.Writer, res *core.Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"suite", "model", "fault", "metric", "baseline", "faulty",
+		"norm_perf", "ci_lo", "ci_hi", "masked_rate", "trials",
+	}); err != nil {
+		return err
+	}
+	c := res.Campaign
+	for _, k := range c.Suite.Metrics {
+		r := res.Normalized(k)
+		row := []string{
+			c.Suite.Name, c.Model.Cfg.Name, c.Fault.String(), string(k),
+			fmtF(res.Baseline.MetricMeans[metrics.Kind(k)]),
+			fmtF(res.MetricMean(k)),
+			fmtF(r.Value), fmtF(r.Lo), fmtF(r.Hi),
+			fmtF(res.MaskedRate()),
+			strconv.Itoa(len(res.Trials)),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }

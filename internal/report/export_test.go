@@ -1,0 +1,74 @@
+package report
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/numerics"
+	"repro/internal/tasks"
+)
+
+func exportResult(t *testing.T) *core.Result {
+	t.Helper()
+	vocab := tasks.GeneralVocab()
+	cfg := model.StandardConfig("exp", vocab.Size(), numerics.BF16)
+	m, err := model.Build(model.Spec{Config: cfg, Family: model.QwenS, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite := tasks.NewSelfRefSuite("exp", 3, 3, 5, 6,
+		[]metrics.Kind{metrics.KindBLEU, metrics.KindChrF})
+	res, err := core.Campaign{
+		Model: m, Suite: suite, Fault: faults.Mem2Bit, Trials: 8, Seed: 5,
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestWriteTrialsCSV(t *testing.T) {
+	res := exportResult(t)
+	var buf bytes.Buffer
+	if err := WriteTrialsCSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1+len(res.Trials) {
+		t.Fatalf("csv rows = %d, want %d", len(rows), 1+len(res.Trials))
+	}
+	wantCols := 14 + len(res.Campaign.Suite.Metrics)
+	for i, r := range rows {
+		if len(r) != wantCols {
+			t.Fatalf("row %d has %d columns, want %d", i, len(r), wantCols)
+		}
+	}
+	if rows[0][0] != "trial" || rows[0][len(rows[0])-1] != "chrF++" {
+		t.Fatalf("header = %v", rows[0])
+	}
+}
+
+func TestWriteSummaryCSV(t *testing.T) {
+	res := exportResult(t)
+	var buf bytes.Buffer
+	if err := WriteSummaryCSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Count(out, "\n")
+	if lines != 1+len(res.Campaign.Suite.Metrics) {
+		t.Fatalf("summary lines = %d", lines)
+	}
+	if !strings.Contains(out, "2bits-mem") || !strings.Contains(out, "BLEU") {
+		t.Fatalf("summary missing fields:\n%s", out)
+	}
+}

@@ -1,0 +1,126 @@
+// Package report renders experiment results as aligned ASCII tables and
+// bar charts — the textual equivalents of the paper's figures.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table accumulates rows of cells and renders them column-aligned.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// Row appends a row; values are formatted with %v (float64 with %.4g).
+func (t *Table) Row(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 0):
+		return "Inf"
+	case v == math.Trunc(v) && math.Abs(v) < 1e6:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(c, widths[i]))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Bar renders a labeled horizontal bar for a value in [lo, hi].
+func Bar(label string, value, lo, hi float64, width int) string {
+	frac := (value - lo) / (hi - lo)
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	n := int(frac * float64(width))
+	return fmt.Sprintf("%-24s %7.4f |%s%s|", label, value,
+		strings.Repeat("█", n), strings.Repeat(" ", width-n))
+}
+
+// BarChart renders a series of labeled values as horizontal bars scaled
+// to [lo, hi].
+func BarChart(labels []string, values []float64, lo, hi float64) string {
+	var b strings.Builder
+	for i, l := range labels {
+		b.WriteString(Bar(l, values[i], lo, hi, 40))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CI formats a value with its confidence bounds.
+func CI(v, lo, hi float64) string {
+	return fmt.Sprintf("%.4f [%.4f, %.4f]", v, lo, hi)
+}
+
+// Section renders a titled block.
+func Section(title, body string) string {
+	return fmt.Sprintf("== %s ==\n%s", title, body)
+}

@@ -1,0 +1,81 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("Name", "Value")
+	tb.Row("short", 1.5)
+	tb.Row("a-much-longer-name", 10)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("expected 4 lines, got %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "Name") {
+		t.Fatal("header missing")
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Fatal("separator missing")
+	}
+	// All rows should start the second column at the same offset.
+	off := strings.Index(lines[2], "1.5000")
+	off2 := strings.Index(lines[3], "10")
+	if off != off2 {
+		t.Fatalf("columns misaligned: %d vs %d", off, off2)
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	if formatFloat(3) != "3" {
+		t.Fatalf("integral float: %q", formatFloat(3))
+	}
+	if formatFloat(0.12345) != "0.1235" {
+		t.Fatalf("fraction: %q", formatFloat(0.12345))
+	}
+	if formatFloat(float64FromNaN()) != "NaN" {
+		t.Fatal("NaN formatting")
+	}
+}
+
+func float64FromNaN() float64 {
+	var zero float64
+	return zero / zero
+}
+
+func TestBarScaling(t *testing.T) {
+	full := Bar("x", 1, 0, 1, 10)
+	if strings.Count(full, "█") != 10 {
+		t.Fatalf("full bar: %q", full)
+	}
+	empty := Bar("x", 0, 0, 1, 10)
+	if strings.Count(empty, "█") != 0 {
+		t.Fatalf("empty bar: %q", empty)
+	}
+	clamped := Bar("x", 5, 0, 1, 10)
+	if strings.Count(clamped, "█") != 10 {
+		t.Fatal("overflow should clamp")
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	out := BarChart([]string{"a", "b"}, []float64{0.5, 1}, 0, 1)
+	if strings.Count(out, "\n") != 2 {
+		t.Fatalf("chart lines: %q", out)
+	}
+}
+
+func TestCIFormat(t *testing.T) {
+	got := CI(0.9, 0.8, 1.0)
+	if got != "0.9000 [0.8000, 1.0000]" {
+		t.Fatalf("CI = %q", got)
+	}
+}
+
+func TestSection(t *testing.T) {
+	if !strings.HasPrefix(Section("T", "body"), "== T ==\n") {
+		t.Fatal("section header")
+	}
+}

@@ -1,0 +1,212 @@
+// Package stats provides the statistical machinery of §3.3.3: normalized
+// performance (fault-injected metric over fault-free metric), 95%
+// confidence intervals via the log-transformation (Katz) method for
+// ratios, normal-approximation intervals for proportions, bootstrap
+// intervals for continuous metrics, and histogram summaries used by the
+// weight-distribution analysis (Figure 13).
+package stats
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/prng"
+)
+
+// z95 is the two-sided 95% normal quantile.
+const z95 = 1.959963984540054
+
+// Ratio is a normalized-performance estimate with its confidence bounds.
+type Ratio struct {
+	Value    float64 // P_fault_injected / P_fault_free
+	Lo, Hi   float64 // 95% CI
+	NumFault int     // trials behind the numerator
+}
+
+// NormalizedPerformance computes faulty/baseline with a Katz
+// log-transform CI treating both inputs as mean proportions over their
+// trial counts. baseline == 0 yields Value 1 with degenerate bounds (the
+// paper normalizes only when the fault-free metric is nonzero).
+func NormalizedPerformance(faulty, baseline float64, nFaulty, nBaseline int) Ratio {
+	if baseline == 0 {
+		return Ratio{Value: 1, Lo: 1, Hi: 1, NumFault: nFaulty}
+	}
+	r := faulty / baseline
+	if faulty <= 0 || nFaulty == 0 || nBaseline == 0 {
+		return Ratio{Value: r, Lo: 0, Hi: 0, NumFault: nFaulty}
+	}
+	// Katz (1978) log CI for a ratio of proportions:
+	// Var[ln R] ≈ (1-p1)/(n1·p1) + (1-p0)/(n0·p0), with metrics clamped
+	// into (0, 1] so quality scores behave like proportions, as the paper
+	// does when applying the method to BLEU/ROUGE-style metrics.
+	p1 := clampProb(faulty)
+	p0 := clampProb(baseline)
+	se := math.Sqrt((1-p1)/(float64(nFaulty)*p1) + (1-p0)/(float64(nBaseline)*p0))
+	return Ratio{
+		Value:    r,
+		Lo:       r * math.Exp(-z95*se),
+		Hi:       r * math.Exp(z95*se),
+		NumFault: nFaulty,
+	}
+}
+
+func clampProb(p float64) float64 {
+	if p < 1e-9 {
+		return 1e-9
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// ProportionCI returns the Wald 95% interval for k successes in n trials.
+func ProportionCI(k, n int) (p, lo, hi float64) {
+	if n == 0 {
+		return 0, 0, 0
+	}
+	p = float64(k) / float64(n)
+	se := math.Sqrt(p * (1 - p) / float64(n))
+	lo = math.Max(0, p-z95*se)
+	hi = math.Min(1, p+z95*se)
+	return p, lo, hi
+}
+
+// BootstrapMeanCI resamples xs (seeded, deterministic) and returns the
+// mean with a percentile 95% interval over iters resamples.
+func BootstrapMeanCI(xs []float64, iters int, seed uint64) (mean, lo, hi float64) {
+	if len(xs) == 0 {
+		return 0, 0, 0
+	}
+	mean = meanOf(xs)
+	if len(xs) == 1 || iters <= 0 {
+		return mean, mean, mean
+	}
+	src := prng.New(seed)
+	means := make([]float64, iters)
+	for it := range means {
+		var sum float64
+		for i := 0; i < len(xs); i++ {
+			sum += xs[src.Intn(len(xs))]
+		}
+		means[it] = sum / float64(len(xs))
+	}
+	sort.Float64s(means)
+	lo = means[int(0.025*float64(iters))]
+	hi = means[int(math.Min(0.975*float64(iters), float64(iters-1)))]
+	return mean, lo, hi
+}
+
+func meanOf(xs []float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Summary holds basic moments of a sample.
+type Summary struct {
+	N                int
+	Mean, Std        float64
+	Min, Max         float64
+	P01, P50, P99    float64
+	AbsMean          float64
+	FracBeyondTwoStd float64
+}
+
+// Summarize computes a Summary of xs (which is not modified).
+func Summarize(xs []float64) Summary {
+	var s Summary
+	s.N = len(xs)
+	if s.N == 0 {
+		return s
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Min, s.Max = sorted[0], sorted[s.N-1]
+	s.P01 = quantile(sorted, 0.01)
+	s.P50 = quantile(sorted, 0.50)
+	s.P99 = quantile(sorted, 0.99)
+	var sum, absSum float64
+	for _, x := range xs {
+		sum += x
+		absSum += math.Abs(x)
+	}
+	s.Mean = sum / float64(s.N)
+	s.AbsMean = absSum / float64(s.N)
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if s.N > 1 {
+		s.Std = math.Sqrt(ss / float64(s.N-1))
+	}
+	if s.Std > 0 {
+		beyond := 0
+		for _, x := range xs {
+			if math.Abs(x-s.Mean) > 2*s.Std {
+				beyond++
+			}
+		}
+		s.FracBeyondTwoStd = float64(beyond) / float64(s.N)
+	}
+	return s
+}
+
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	pos := q * float64(len(sorted)-1)
+	i := int(pos)
+	if i >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := pos - float64(i)
+	return sorted[i]*(1-frac) + sorted[i+1]*frac
+}
+
+// Histogram is a fixed-width binning of a sample.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	Under  int // below Lo
+	Over   int // above Hi
+	Total  int
+}
+
+// NewHistogram bins xs into nbins equal-width bins over [lo, hi].
+func NewHistogram(xs []float64, lo, hi float64, nbins int) *Histogram {
+	h := &Histogram{Lo: lo, Hi: hi, Counts: make([]int, nbins)}
+	width := (hi - lo) / float64(nbins)
+	for _, x := range xs {
+		h.Total++
+		switch {
+		case x < lo:
+			h.Under++
+		case x >= hi:
+			h.Over++
+		default:
+			b := int((x - lo) / width)
+			if b >= nbins {
+				b = nbins - 1
+			}
+			h.Counts[b]++
+		}
+	}
+	return h
+}
+
+// Fractions returns each bin's share of the total.
+func (h *Histogram) Fractions() []float64 {
+	out := make([]float64, len(h.Counts))
+	if h.Total == 0 {
+		return out
+	}
+	for i, c := range h.Counts {
+		out[i] = float64(c) / float64(h.Total)
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/prng"
+)
+
+func TestNormalizedPerformanceBasics(t *testing.T) {
+	r := NormalizedPerformance(0.8, 1.0, 100, 100)
+	if math.Abs(r.Value-0.8) > 1e-12 {
+		t.Fatalf("ratio = %g", r.Value)
+	}
+	if !(r.Lo < r.Value && r.Value < r.Hi) {
+		t.Fatalf("CI [%g, %g] does not bracket %g", r.Lo, r.Hi, r.Value)
+	}
+}
+
+func TestNormalizedPerformanceZeroBaseline(t *testing.T) {
+	r := NormalizedPerformance(0.5, 0, 10, 10)
+	if r.Value != 1 {
+		t.Fatal("zero baseline should normalize to 1 by convention")
+	}
+}
+
+func TestNormalizedPerformanceCINarrowsWithN(t *testing.T) {
+	small := NormalizedPerformance(0.9, 0.95, 20, 20)
+	large := NormalizedPerformance(0.9, 0.95, 2000, 2000)
+	if large.Hi-large.Lo >= small.Hi-small.Lo {
+		t.Fatal("CI should narrow with more trials")
+	}
+}
+
+func TestProportionCI(t *testing.T) {
+	p, lo, hi := ProportionCI(50, 100)
+	if p != 0.5 || lo >= p || hi <= p {
+		t.Fatalf("ProportionCI(50,100) = %g [%g, %g]", p, lo, hi)
+	}
+	if _, lo, _ := ProportionCI(0, 100); lo != 0 {
+		t.Fatal("lower bound should clamp at 0")
+	}
+	if _, _, hi := ProportionCI(100, 100); hi != 1 {
+		t.Fatal("upper bound should clamp at 1")
+	}
+}
+
+func TestBootstrapDeterministic(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6}
+	m1, lo1, hi1 := BootstrapMeanCI(xs, 500, 9)
+	m2, lo2, hi2 := BootstrapMeanCI(xs, 500, 9)
+	if m1 != m2 || lo1 != lo2 || hi1 != hi2 {
+		t.Fatal("bootstrap is not deterministic for fixed seed")
+	}
+	if !(lo1 <= m1 && m1 <= hi1) {
+		t.Fatalf("bootstrap CI [%g, %g] does not bracket mean %g", lo1, hi1, m1)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Fatalf("summary %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(5.0/3)) > 1e-12 {
+		t.Fatalf("std = %g", s.Std)
+	}
+	if s.P50 != 2.5 {
+		t.Fatalf("median = %g", s.P50)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 {
+		t.Fatal("empty summary")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]float64{-5, 0.1, 0.2, 0.9, 5}, 0, 1, 10)
+	if h.Under != 1 || h.Over != 1 || h.Total != 5 {
+		t.Fatalf("histogram bookkeeping: %+v", h)
+	}
+	sum := 0
+	for _, c := range h.Counts {
+		sum += c
+	}
+	if sum != 3 {
+		t.Fatalf("binned count = %d", sum)
+	}
+	fr := h.Fractions()
+	var fsum float64
+	for _, f := range fr {
+		fsum += f
+	}
+	if math.Abs(fsum-0.6) > 1e-12 {
+		t.Fatalf("fractions sum %g, want 0.6", fsum)
+	}
+}
+
+// Property: the Katz interval always brackets the point estimate for
+// valid proportion-like inputs.
+func TestKatzBrackets(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := prng.New(seed)
+		faulty := src.Float64()*0.99 + 0.005
+		base := src.Float64()*0.99 + 0.005
+		n1 := src.Intn(1000) + 2
+		n0 := src.Intn(1000) + 2
+		r := NormalizedPerformance(faulty, base, n1, n0)
+		return r.Lo <= r.Value+1e-12 && r.Value <= r.Hi+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: quantiles are monotone.
+func TestQuantilesMonotone(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%40) + 2
+		src := prng.New(seed)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = src.NormFloat64()
+		}
+		s := Summarize(xs)
+		return s.Min <= s.P01 && s.P01 <= s.P50 && s.P50 <= s.P99 && s.P99 <= s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

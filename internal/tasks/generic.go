@@ -1,0 +1,45 @@
+package tasks
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/prng"
+	"repro/internal/token"
+)
+
+// NewSelfRefSuite builds a generative suite over the general vocabulary
+// with no gold references: the fault-free output of the model under test
+// becomes the reference (normalized performance is then exactly the
+// output-stability measure). These suites drive the studies that need
+// generative behaviour from the untrained profile models — MoE vs dense
+// (Figure 14), gate-layer faults (Figure 15), and the scale study
+// (Figure 16) — where the paper used WMT16/SQuAD-style workloads on
+// models we do not train for those tasks.
+func NewSelfRefSuite(name string, seed uint64, n, promptLen, maxNew int, kinds []metrics.Kind) *Suite {
+	vocab := GeneralVocab()
+	src := prng.New(seed ^ hashName(name))
+	s := &Suite{
+		Name:    name,
+		Dataset: "self-referential " + name,
+		Type:    Generative,
+		Vocab:   vocab,
+		Metrics: kinds,
+	}
+	pools := [][]string{commonWords, narrativeWords, scienceWords, humanitiesWords}
+	for i := 0; i < n; i++ {
+		isrc := src.Split(uint64(i))
+		words := make([]string, 0, promptLen)
+		for len(words) < promptLen {
+			words = append(words, pick(isrc, pools[isrc.Intn(len(pools))]))
+		}
+		prompt := append([]int{token.BOS}, vocab.EncodeWords(words)...)
+		s.Instances = append(s.Instances, Instance{
+			ID:     fmt.Sprintf("%s-%03d", name, i),
+			Prompt: prompt,
+			MaxNew: maxNew,
+			MinNew: maxNew / 2,
+		})
+	}
+	return s
+}

@@ -1,0 +1,127 @@
+package tasks
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/prng"
+	"repro/internal/token"
+)
+
+// mcProfile shapes one multiple-choice suite. The suites differ in prompt
+// length, option count/length, and topical vocabulary — the independent
+// variables that give each benchmark its own score-margin profile (and
+// hence its own masking behaviour under faults, §4.1.2).
+type mcProfile struct {
+	name       string
+	dataset    string
+	promptLen  int
+	numOptions int
+	optionLen  int
+	// overlap makes options share a prefix with each other, shrinking
+	// score margins (harder, more fault-sensitive suites).
+	overlap int
+	topics  [][]string
+}
+
+var mcProfiles = []mcProfile{
+	{
+		name: "mmlu", dataset: "MMLU", promptLen: 24, numOptions: 4,
+		optionLen: 4, overlap: 1,
+		topics: [][]string{scienceWords, humanitiesWords, commonWords},
+	},
+	{
+		name: "arc", dataset: "AI2_ARC", promptLen: 16, numOptions: 4,
+		optionLen: 3, overlap: 1,
+		topics: [][]string{scienceWords, commonWords},
+	},
+	{
+		name: "truthfulqa", dataset: "TruthfulQA", promptLen: 20,
+		numOptions: 4, optionLen: 6, overlap: 0,
+		topics: [][]string{commonWords, humanitiesWords},
+	},
+	{
+		name: "winogrande", dataset: "WinoGrande", promptLen: 14,
+		numOptions: 2, optionLen: 2, overlap: 0,
+		topics: [][]string{narrativeWords, nameWords, commonWords},
+	},
+	{
+		name: "hellaswag", dataset: "HellaSwag", promptLen: 30,
+		numOptions: 4, optionLen: 8, overlap: 2,
+		topics: [][]string{narrativeWords, commonWords},
+	},
+}
+
+// MCSuiteNames lists the multiple-choice suite names in canonical order.
+func MCSuiteNames() []string {
+	names := make([]string, len(mcProfiles))
+	for i, p := range mcProfiles {
+		names[i] = p.name
+	}
+	return names
+}
+
+// NewMCSuite builds n instances of the named multiple-choice suite over
+// the shared general vocabulary. The same (name, seed, n) always yields
+// the same dataset — the tinyBenchmarks-style fixed evaluation subset.
+func NewMCSuite(name string, seed uint64, n int) (*Suite, error) {
+	var prof *mcProfile
+	for i := range mcProfiles {
+		if mcProfiles[i].name == name {
+			prof = &mcProfiles[i]
+			break
+		}
+	}
+	if prof == nil {
+		return nil, fmt.Errorf("tasks: unknown MC suite %q", name)
+	}
+	vocab := GeneralVocab()
+	src := prng.New(seed ^ hashName(prof.name))
+	s := &Suite{
+		Name:    prof.name,
+		Dataset: prof.dataset,
+		Type:    MultipleChoice,
+		Vocab:   vocab,
+		Metrics: []metrics.Kind{metrics.KindAccuracy},
+	}
+	for i := 0; i < n; i++ {
+		isrc := src.Split(uint64(i))
+		inst := Instance{
+			ID:     fmt.Sprintf("%s-%03d", prof.name, i),
+			Prompt: mcPrompt(isrc, vocab, prof),
+			Gold:   isrc.Intn(prof.numOptions),
+		}
+		var shared []string
+		if prof.overlap > 0 {
+			shared = sampleWords(isrc, prof.topics[0], prof.overlap)
+		}
+		for o := 0; o < prof.numOptions; o++ {
+			words := append(append([]string(nil), shared...),
+				sampleWords(isrc, prof.topics[isrc.Intn(len(prof.topics))], prof.optionLen-prof.overlap)...)
+			inst.Options = append(inst.Options, vocab.EncodeWords(words))
+		}
+		s.Instances = append(s.Instances, inst)
+	}
+	return s, nil
+}
+
+func mcPrompt(src *prng.Source, vocab *token.Vocab, prof *mcProfile) []int {
+	words := make([]string, 0, prof.promptLen+2)
+	for len(words) < prof.promptLen {
+		topic := prof.topics[src.Intn(len(prof.topics))]
+		words = append(words, pick(src, topic))
+	}
+	words = append(words, "question", "answer")
+	ids := append([]int{token.BOS}, vocab.EncodeWords(words)...)
+	return ids
+}
+
+// hashName folds a suite name into a seed component (FNV-1a).
+func hashName(name string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return h
+}

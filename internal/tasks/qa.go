@@ -1,0 +1,126 @@
+package tasks
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/prng"
+	"repro/internal/token"
+)
+
+// QA task marker words.
+const (
+	QAContext  = "context"
+	QAQuestion = "question"
+	QAIs       = "is"
+	QASep      = ","
+	QAArrow    = "=>"
+)
+
+// QATask is the SQuAD v2 surrogate: span extraction over a synthetic
+// context of named facts. The context lists "name is place" facts (the
+// number of facts varies per example); the question repeats one of the
+// fact names together with its ordinal, and the answer is that fact's
+// place value. The ordinal makes the retrieval a question-conditioned
+// span selection — the content-to-position attention pattern that tiny
+// transformers acquire reliably — while the name token keeps the
+// question textual. Faults that corrupt the attention pathway yield
+// wrong-span answers (subtle SDCs), matching the paper's QA behaviour.
+type QATask struct {
+	vocab    *token.Vocab
+	keys     []string
+	values   []string
+	ordinals []string
+	minFacts int
+	maxFacts int
+}
+
+// NewQATask builds the QA task with 2–4 facts per context.
+func NewQATask() *QATask {
+	ordinals := []string{"first", "second", "third", "fourth"}
+	words := []string{QAContext, QAQuestion, QAIs, QASep, QAArrow}
+	words = append(words, ordinals...)
+	words = append(words, nameWords...)
+	words = append(words, placeWords...)
+	return &QATask{
+		vocab:    token.NewVocab(words),
+		keys:     nameWords,
+		values:   placeWords,
+		ordinals: ordinals,
+		minFacts: 2,
+		maxFacts: 4,
+	}
+}
+
+// Name implements TrainTask.
+func (t *QATask) Name() string { return "qa" }
+
+// Vocab implements TrainTask.
+func (t *QATask) Vocab() *token.Vocab { return t.vocab }
+
+// MaxLen implements TrainTask.
+func (t *QATask) MaxLen() int { return 2 + t.maxFacts*4 + 4 + 1 + 1 + 1 }
+
+// qaInstance is one generated example.
+type qaInstance struct {
+	keys, vals []string
+	ask        int
+}
+
+func (t *QATask) instance(src *prng.Source) qaInstance {
+	perm := src.Perm(len(t.keys))
+	n := t.minFacts + src.Intn(t.maxFacts-t.minFacts+1)
+	inst := qaInstance{ask: src.Intn(n)}
+	for i := 0; i < n; i++ {
+		inst.keys = append(inst.keys, t.keys[perm[i]])
+		inst.vals = append(inst.vals, pick(src, t.values))
+	}
+	return inst
+}
+
+// prompt tokenizes
+// "context k1 is v1 , k2 is v2 question second k2 =>".
+func (t *QATask) prompt(inst qaInstance) []int {
+	ids := []int{token.BOS, t.vocab.ID(QAContext)}
+	for i := range inst.keys {
+		if i > 0 {
+			ids = append(ids, t.vocab.ID(QASep))
+		}
+		ids = append(ids, t.vocab.ID(inst.keys[i]), t.vocab.ID(QAIs), t.vocab.ID(inst.vals[i]))
+	}
+	ids = append(ids,
+		t.vocab.ID(QAQuestion),
+		t.vocab.ID(t.ordinals[inst.ask]),
+		t.vocab.ID(inst.keys[inst.ask]),
+		t.vocab.ID(QAArrow))
+	return ids
+}
+
+// Pair implements TrainTask.
+func (t *QATask) Pair(src *prng.Source) (prompt, completion []int) {
+	inst := t.instance(src)
+	return t.prompt(inst), []int{t.vocab.ID(inst.vals[inst.ask])}
+}
+
+// Suite materializes n instances with gold answers.
+func (t *QATask) Suite(seed uint64, n int) *Suite {
+	src := prng.New(seed ^ hashName("squadv2"))
+	s := &Suite{
+		Name:    "squadv2",
+		Dataset: "SQuAD v2",
+		Type:    Generative,
+		Vocab:   t.vocab,
+		Metrics: []metrics.Kind{metrics.KindEM, metrics.KindF1},
+	}
+	for i := 0; i < n; i++ {
+		isrc := src.Split(uint64(i))
+		inst := t.instance(isrc)
+		s.Instances = append(s.Instances, Instance{
+			ID:        fmt.Sprintf("squadv2-%03d", i),
+			Prompt:    t.prompt(inst),
+			Reference: inst.vals[inst.ask],
+			MaxNew:    3,
+		})
+	}
+	return s
+}

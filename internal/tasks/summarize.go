@@ -1,0 +1,106 @@
+package tasks
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/prng"
+	"repro/internal/token"
+)
+
+// SummMarker introduces the summarization instruction; SummStop ends a
+// sentence within the document.
+const (
+	SummMarker = "summarize"
+	SummStop   = "."
+	SummArrow  = "=>"
+)
+
+// SummTask is the XLSum surrogate: an extractive lead-sentence
+// summarization task. A document is 2–4 short sentences; the gold summary
+// is the first sentence (lead-1 extraction, what the fine-tuned
+// Llama3.1-Summarizer of Table 1 effectively performs). The model must
+// locate and copy the lead sentence — a long-range copy behaviour whose
+// corruption under faults produces both subtle (wrong words) and
+// distorted (repetition) outputs.
+type SummTask struct {
+	vocab  *token.Vocab
+	words  []string
+	minSen int
+	maxSen int
+	senLen int
+}
+
+// NewSummTask builds the summarization task.
+func NewSummTask() *SummTask {
+	body := append(append([]string(nil), narrativeWords...), commonWords...)
+	vocabWords := append([]string{SummMarker, SummStop, SummArrow}, body...)
+	return &SummTask{
+		vocab:  token.NewVocab(vocabWords),
+		words:  body,
+		minSen: 2,
+		maxSen: 3,
+		senLen: 5,
+	}
+}
+
+// Name implements TrainTask.
+func (t *SummTask) Name() string { return "summarization" }
+
+// Vocab implements TrainTask.
+func (t *SummTask) Vocab() *token.Vocab { return t.vocab }
+
+// MaxLen implements TrainTask.
+func (t *SummTask) MaxLen() int {
+	return 2 + t.maxSen*(t.senLen+1) + 1 + t.senLen + 1
+}
+
+// document draws sentences; each sentence is senLen words plus ".".
+func (t *SummTask) document(src *prng.Source) [][]string {
+	n := t.minSen + src.Intn(t.maxSen-t.minSen+1)
+	doc := make([][]string, n)
+	for i := range doc {
+		doc[i] = sampleWords(src, t.words, t.senLen)
+	}
+	return doc
+}
+
+// Prompt tokenizes "summarize <s1> . <s2> . ... =>".
+func (t *SummTask) Prompt(doc [][]string) []int {
+	ids := []int{token.BOS, t.vocab.ID(SummMarker)}
+	for _, sen := range doc {
+		ids = append(ids, t.vocab.EncodeWords(sen)...)
+		ids = append(ids, t.vocab.ID(SummStop))
+	}
+	return append(ids, t.vocab.ID(SummArrow))
+}
+
+// Pair implements TrainTask: the completion is the lead sentence.
+func (t *SummTask) Pair(src *prng.Source) (prompt, completion []int) {
+	doc := t.document(src)
+	return t.Prompt(doc), t.vocab.EncodeWords(doc[0])
+}
+
+// Suite materializes n instances with gold lead-1 references.
+func (t *SummTask) Suite(seed uint64, n int) *Suite {
+	src := prng.New(seed ^ hashName("xlsum"))
+	s := &Suite{
+		Name:    "xlsum",
+		Dataset: "XLSum",
+		Type:    Generative,
+		Vocab:   t.vocab,
+		Metrics: []metrics.Kind{metrics.KindRouge1, metrics.KindRougeL},
+	}
+	for i := 0; i < n; i++ {
+		isrc := src.Split(uint64(i))
+		doc := t.document(isrc)
+		s.Instances = append(s.Instances, Instance{
+			ID:        fmt.Sprintf("xlsum-%03d", i),
+			Prompt:    t.Prompt(doc),
+			Reference: strings.Join(doc[0], " "),
+			MaxNew:    t.senLen + 3,
+		})
+	}
+	return s
+}

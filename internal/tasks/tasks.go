@@ -1,0 +1,131 @@
+// Package tasks provides the synthetic downstream-task suites standing in
+// for Table 1's datasets: five multiple-choice suites (MMLU, AI2 ARC,
+// TruthfulQA, WinoGrande, HellaSwag surrogates), a multi-step arithmetic
+// suite (GSM8k surrogate) with optional Chain-of-Thought, a dictionary
+// translation suite (WMT16 de-en surrogate), an extractive summarization
+// suite (XLSum surrogate), and a span-extraction QA suite (SQuAD v2
+// surrogate). Each generative task doubles as a training-data generator
+// for the tiny trained models (internal/train).
+package tasks
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/prng"
+	"repro/internal/token"
+)
+
+// Type distinguishes the two evaluation modes of §3.3.2.
+type Type int
+
+const (
+	// MultipleChoice tasks score each option's log-likelihood and pick the
+	// best; no tokens are generated.
+	MultipleChoice Type = iota
+	// Generative tasks produce content token by token.
+	Generative
+)
+
+// String names the type.
+func (t Type) String() string {
+	if t == MultipleChoice {
+		return "multiple-choice"
+	}
+	return "generative"
+}
+
+// Instance is one evaluation input.
+type Instance struct {
+	ID     string
+	Prompt []int
+	// Options holds the tokenized answer options for multiple-choice
+	// instances; Gold indexes the nominally correct one.
+	Options [][]int
+	Gold    int
+	// Reference is the gold output text for generative instances. Empty
+	// means self-relative evaluation (the fault-free output becomes the
+	// reference), used with the untrained general-purpose profiles.
+	Reference string
+	// MaxNew bounds generation length.
+	MaxNew int
+	// MinNew suppresses EOS for the first MinNew tokens (keeps untrained
+	// models from degenerating to empty outputs).
+	MinNew int
+}
+
+// Suite is a dataset plus its evaluation protocol.
+type Suite struct {
+	Name      string
+	Dataset   string // paper dataset this stands in for
+	Type      Type
+	Vocab     *token.Vocab
+	Metrics   []metrics.Kind
+	Instances []Instance
+}
+
+// String renders a short descriptor.
+func (s *Suite) String() string {
+	return fmt.Sprintf("%s(%s, %d instances)", s.Name, s.Type, len(s.Instances))
+}
+
+// MaxSeqNeeded returns the longest prompt+generation the suite can
+// produce, for sizing model contexts.
+func (s *Suite) MaxSeqNeeded() int {
+	maxLen := 0
+	for _, in := range s.Instances {
+		l := len(in.Prompt) + in.MaxNew + 1
+		if s.Type == MultipleChoice {
+			longest := 0
+			for _, o := range in.Options {
+				if len(o) > longest {
+					longest = len(o)
+				}
+			}
+			l = len(in.Prompt) + longest + 1
+		}
+		if l > maxLen {
+			maxLen = l
+		}
+	}
+	return maxLen
+}
+
+// TrainTask generates supervised (prompt, completion) pairs for the
+// trained tiny models. Completion excludes EOS; the trainer appends it.
+type TrainTask interface {
+	// Name identifies the task.
+	Name() string
+	// Vocab returns the task vocabulary.
+	Vocab() *token.Vocab
+	// Pair draws one training example.
+	Pair(src *prng.Source) (prompt, completion []int)
+	// MaxLen returns the longest prompt+completion+1 the task emits.
+	MaxLen() int
+}
+
+// NoisyTask is a TrainTask whose training inputs may be corrupted while
+// the supervision labels stay clean — denoising training. The trainer
+// checks for this interface and passes each example's input sequence
+// through CorruptInputs.
+type NoisyTask interface {
+	TrainTask
+	// CorruptInputs returns the (possibly modified) input token sequence.
+	// promptLen marks where the completion region starts. The slice may
+	// be modified in place.
+	CorruptInputs(src *prng.Source, inputs []int, promptLen int) []int
+}
+
+// pick returns a uniformly chosen element of list.
+func pick(src *prng.Source, list []string) string {
+	return list[src.Intn(len(list))]
+}
+
+// sampleWords draws n words (with replacement) from list.
+func sampleWords(src *prng.Source, list []string, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = pick(src, list)
+	}
+	return out
+}

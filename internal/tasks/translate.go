@@ -1,0 +1,120 @@
+package tasks
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/prng"
+	"repro/internal/token"
+)
+
+// translationPairs is the bilingual dictionary of the WMT16 de-en
+// surrogate: a closed German→English word mapping. Sentences are built
+// from these words, and translating means emitting each source word's
+// target in order — a task a two-block transformer learns essentially
+// perfectly, giving a high fault-free BLEU baseline to degrade from.
+var translationPairs = [][2]string{
+	{"der", "the"}, {"ein", "a"}, {"hund", "dog"}, {"katze", "cat"},
+	{"mann", "man"}, {"frau", "woman"}, {"kind", "child"}, {"haus", "house"},
+	{"baum", "tree"}, {"fluss", "river"}, {"berg", "mountain"}, {"stadt", "city"},
+	{"buch", "book"}, {"brot", "bread"}, {"wasser", "water"}, {"licht", "light"},
+	{"sieht", "sees"}, {"liebt", "loves"}, {"hat", "has"}, {"isst", "eats"},
+	{"trinkt", "drinks"}, {"baut", "builds"}, {"findet", "finds"}, {"kennt", "knows"},
+	{"klein", "small"}, {"gross", "big"}, {"alt", "old"}, {"neu", "new"},
+	{"rot", "red"}, {"blau", "blue"}, {"schnell", "fast"}, {"leise", "quiet"},
+	{"und", "and"}, {"oder", "or"}, {"hier", "here"}, {"dort", "there"},
+}
+
+// TransMarker introduces the translation instruction.
+const TransMarker = "translate"
+
+// TransArrow separates source from target.
+const TransArrow = "=>"
+
+// TranslationTask is the WMT16 de-en surrogate.
+type TranslationTask struct {
+	vocab   *token.Vocab
+	sources []string
+	mapping map[string]string
+	minLen  int
+	maxLen  int
+}
+
+// NewTranslationTask builds the task with sentences of 4–8 source words.
+func NewTranslationTask() *TranslationTask {
+	t := &TranslationTask{
+		mapping: make(map[string]string, len(translationPairs)),
+		minLen:  4,
+		maxLen:  8,
+	}
+	var words []string
+	words = append(words, TransMarker, TransArrow)
+	for _, p := range translationPairs {
+		t.sources = append(t.sources, p[0])
+		t.mapping[p[0]] = p[1]
+		words = append(words, p[0], p[1])
+	}
+	t.vocab = token.NewVocab(words)
+	return t
+}
+
+// Name implements TrainTask.
+func (t *TranslationTask) Name() string { return "translation" }
+
+// Vocab implements TrainTask.
+func (t *TranslationTask) Vocab() *token.Vocab { return t.vocab }
+
+// MaxLen implements TrainTask.
+func (t *TranslationTask) MaxLen() int { return 1 + 1 + t.maxLen + 1 + t.maxLen + 1 }
+
+// sentence draws a source sentence.
+func (t *TranslationTask) sentence(src *prng.Source) []string {
+	n := t.minLen + src.Intn(t.maxLen-t.minLen+1)
+	return sampleWords(src, t.sources, n)
+}
+
+// Translate maps a source sentence to its gold translation.
+func (t *TranslationTask) Translate(srcWords []string) []string {
+	out := make([]string, len(srcWords))
+	for i, w := range srcWords {
+		out[i] = t.mapping[w]
+	}
+	return out
+}
+
+// Prompt tokenizes "translate <src> =>".
+func (t *TranslationTask) Prompt(srcWords []string) []int {
+	ids := []int{token.BOS, t.vocab.ID(TransMarker)}
+	ids = append(ids, t.vocab.EncodeWords(srcWords)...)
+	return append(ids, t.vocab.ID(TransArrow))
+}
+
+// Pair implements TrainTask.
+func (t *TranslationTask) Pair(src *prng.Source) (prompt, completion []int) {
+	s := t.sentence(src)
+	return t.Prompt(s), t.vocab.EncodeWords(t.Translate(s))
+}
+
+// Suite materializes n evaluation instances with gold references.
+func (t *TranslationTask) Suite(seed uint64, n int) *Suite {
+	src := prng.New(seed ^ hashName("wmt16"))
+	s := &Suite{
+		Name:    "wmt16",
+		Dataset: "WMT16 de-en",
+		Type:    Generative,
+		Vocab:   t.vocab,
+		Metrics: []metrics.Kind{metrics.KindBLEU, metrics.KindChrF},
+	}
+	for i := 0; i < n; i++ {
+		isrc := src.Split(uint64(i))
+		sent := t.sentence(isrc)
+		s.Instances = append(s.Instances, Instance{
+			ID:        fmt.Sprintf("wmt16-%03d", i),
+			Prompt:    t.Prompt(sent),
+			Reference: strings.Join(t.Translate(sent), " "),
+			MaxNew:    t.maxLen + 3,
+		})
+	}
+	return s
+}

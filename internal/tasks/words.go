@@ -1,0 +1,77 @@
+package tasks
+
+import (
+	"sort"
+
+	"repro/internal/token"
+)
+
+// Topic wordlists backing the multiple-choice suites. They only need to
+// be plausible word inventories with stable ids; task semantics come from
+// the suite construction, not the words.
+var (
+	scienceWords = []string{
+		"atom", "cell", "energy", "gravity", "orbit", "photon", "plasma",
+		"protein", "quark", "enzyme", "neuron", "fossil", "magma", "tide",
+		"vapor", "crystal", "magnet", "circuit", "lens", "prism",
+	}
+	humanitiesWords = []string{
+		"empire", "treaty", "poem", "myth", "ritual", "dialect", "fresco",
+		"sonnet", "dynasty", "archive", "relic", "scroll", "temple",
+		"ballad", "canon", "motif", "satire", "chorus", "fable", "edict",
+	}
+	commonWords = []string{
+		"the", "a", "an", "is", "are", "was", "will", "can", "must",
+		"about", "with", "from", "into", "over", "under", "between",
+		"because", "which", "that", "when", "where", "how", "why",
+		"people", "time", "way", "thing", "world", "life", "work",
+		"number", "group", "place", "fact", "point", "water", "light",
+		"answer", "question", "option", "correct", "true", "false",
+		"most", "least", "best", "more", "less", "first", "second",
+		"third", "fourth", "new", "old", "large", "small", "long",
+	}
+	narrativeWords = []string{
+		"walked", "opened", "carried", "dropped", "lifted", "watched",
+		"smiled", "turned", "waited", "started", "finished", "cleaned",
+		"painted", "kitchen", "garden", "window", "ladder", "bucket",
+		"jacket", "ticket", "engine", "bridge", "market", "station",
+		"morning", "evening", "slowly", "quickly", "carefully", "together",
+	}
+	nameWords = []string{
+		"anna", "boris", "carla", "dmitri", "elena", "farid", "greta",
+		"hugo", "irene", "jonas", "kira", "luis", "mara", "nils",
+	}
+	placeWords = []string{
+		"paris", "cairo", "lima", "oslo", "kyoto", "quito", "delhi",
+		"accra", "turin", "malmo", "perth", "davao",
+	}
+	colorWords = []string{
+		"red", "blue", "green", "amber", "violet", "teal", "coral",
+		"ivory", "slate", "olive",
+	}
+)
+
+// generalWords returns the union wordlist behind GeneralVocab.
+func generalWords() []string {
+	set := make(map[string]bool)
+	for _, list := range [][]string{
+		scienceWords, humanitiesWords, commonWords, narrativeWords,
+		nameWords, placeWords, colorWords,
+	} {
+		for _, w := range list {
+			set[w] = true
+		}
+	}
+	words := make([]string, 0, len(set))
+	for w := range set {
+		words = append(words, w)
+	}
+	sort.Strings(words)
+	return words
+}
+
+// GeneralVocab returns the shared vocabulary of the multiple-choice
+// suites (and of the untrained general-purpose profile models).
+func GeneralVocab() *token.Vocab {
+	return token.NewVocab(generalWords())
+}

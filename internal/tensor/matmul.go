@@ -1,0 +1,181 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Parallelism controls how many worker goroutines MatMul may use. It
+// defaults to GOMAXPROCS and can be lowered to make campaign workers
+// cooperate (e.g. one matmul thread per campaign worker).
+var Parallelism = runtime.GOMAXPROCS(0)
+
+// minRowsPerWorker keeps tiny matmuls single-threaded; spawning goroutines
+// for a 1×64 · 64×64 product costs more than the product.
+const minRowsPerWorker = 32
+
+// MatMul computes out = a · b where a is m×k and b is k×n. out must be
+// m×n and distinct from a and b. Work is split across rows of a when the
+// product is large enough and Parallelism > 1.
+//
+// The kernel iterates k in the middle loop with b accessed row-wise so the
+// inner loop is a contiguous saxpy — the standard cache-friendly ikj
+// ordering. Accumulation is in float32, matching GPU tensor-core GEMM
+// behaviour closely enough for this study (fault magnitudes dwarf
+// accumulation-order noise).
+func MatMul(out, a, b *Tensor) {
+	if a.Cols != b.Rows || out.Rows != a.Rows || out.Cols != b.Cols {
+		panic("tensor: MatMul shape mismatch")
+	}
+	workers := Parallelism
+	if workers > 1 && a.Rows >= minRowsPerWorker*2 {
+		parallelRows(a.Rows, workers, func(r0, r1 int) {
+			matmulRows(out, a, b, r0, r1)
+		})
+		return
+	}
+	matmulRows(out, a, b, 0, a.Rows)
+}
+
+// matmulRows computes rows [r0, r1) of out = a·b.
+func matmulRows(out, a, b *Tensor, r0, r1 int) {
+	n := b.Cols
+	k := a.Cols
+	for i := r0; i < r1; i++ {
+		orow := out.Data[i*n : (i+1)*n]
+		for x := range orow {
+			orow[x] = 0
+		}
+		arow := a.Data[i*k : (i+1)*k]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[p*n : (p+1)*n]
+			for x, bv := range brow {
+				orow[x] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulT computes out = a · bᵀ where a is m×k and b is n×k, so out is
+// m×n. This is the natural layout for attention scores (Q·Kᵀ) and lets
+// both operands stream row-wise.
+func MatMulT(out, a, b *Tensor) {
+	if a.Cols != b.Cols || out.Rows != a.Rows || out.Cols != b.Rows {
+		panic("tensor: MatMulT shape mismatch")
+	}
+	k := a.Cols
+	n := b.Rows
+	body := func(r0, r1 int) {
+		for i := r0; i < r1; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			orow := out.Data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				brow := b.Data[j*k : (j+1)*k]
+				var sum float32
+				for p, av := range arow {
+					sum += av * brow[p]
+				}
+				orow[j] = sum
+			}
+		}
+	}
+	if Parallelism > 1 && a.Rows >= minRowsPerWorker*2 {
+		parallelRows(a.Rows, Parallelism, body)
+		return
+	}
+	body(0, a.Rows)
+}
+
+// MatMulAT computes out = aᵀ · b where a is t×m and b is t×n, so out is
+// m×n. This is the dW = Xᵀ·dY shape of linear-layer backprop.
+func MatMulAT(out, a, b *Tensor) {
+	if a.Rows != b.Rows || out.Rows != a.Cols || out.Cols != b.Cols {
+		panic("tensor: MatMulAT shape mismatch")
+	}
+	for i := range out.Data {
+		out.Data[i] = 0
+	}
+	m, n := a.Cols, b.Cols
+	for t := 0; t < a.Rows; t++ {
+		arow := a.Data[t*m : (t+1)*m]
+		brow := b.Data[t*n : (t+1)*n]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.Data[i*n : (i+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
+// AddMatMulAT computes out += aᵀ · b, accumulating into out (gradient
+// accumulation across a batch).
+func AddMatMulAT(out, a, b *Tensor) {
+	if a.Rows != b.Rows || out.Rows != a.Cols || out.Cols != b.Cols {
+		panic("tensor: AddMatMulAT shape mismatch")
+	}
+	m, n := a.Cols, b.Cols
+	for t := 0; t < a.Rows; t++ {
+		arow := a.Data[t*m : (t+1)*m]
+		brow := b.Data[t*n : (t+1)*n]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.Data[i*n : (i+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
+// parallelRows splits [0, rows) into contiguous chunks and runs body on
+// each chunk in its own goroutine, waiting for all to finish.
+func parallelRows(rows, workers int, body func(r0, r1 int)) {
+	if workers > rows {
+		workers = rows
+	}
+	var wg sync.WaitGroup
+	chunk := (rows + workers - 1) / workers
+	for r0 := 0; r0 < rows; r0 += chunk {
+		r1 := r0 + chunk
+		if r1 > rows {
+			r1 = rows
+		}
+		wg.Add(1)
+		go func(r0, r1 int) {
+			defer wg.Done()
+			body(r0, r1)
+		}(r0, r1)
+	}
+	wg.Wait()
+}
+
+// MatVec computes out = x · w where x is a 1×k row vector and w is k×n.
+// It is the hot path of single-token decoding.
+func MatVec(out []float32, x []float32, w *Tensor) {
+	if len(x) != w.Rows || len(out) != w.Cols {
+		panic("tensor: MatVec shape mismatch")
+	}
+	for i := range out {
+		out[i] = 0
+	}
+	n := w.Cols
+	for p, xv := range x {
+		if xv == 0 {
+			continue
+		}
+		wrow := w.Data[p*n : (p+1)*n]
+		for i, wv := range wrow {
+			out[i] += xv * wv
+		}
+	}
+}

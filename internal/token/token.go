@@ -1,0 +1,150 @@
+// Package token provides the vocabulary and word-level tokenizer shared by
+// the synthetic task suites. Real LLM tokenizers (BPE) are replaced by a
+// closed-vocabulary word tokenizer: every task in this repository is
+// generated from known wordlists, so subword merging adds nothing to the
+// fault-propagation behaviour under study while complicating output
+// inspection.
+package token
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Reserved token ids present in every vocabulary.
+const (
+	PAD = 0 // padding (unused by inference, kept for training batches)
+	BOS = 1 // beginning of sequence
+	EOS = 2 // end of sequence
+	UNK = 3 // unknown word
+)
+
+// NumReserved is the count of reserved ids.
+const NumReserved = 4
+
+// Vocab is an immutable bidirectional word↔id mapping.
+type Vocab struct {
+	words []string
+	ids   map[string]int
+}
+
+// NewVocab builds a vocabulary containing the reserved tokens followed by
+// words (deduplicated, order preserved).
+func NewVocab(words []string) *Vocab {
+	v := &Vocab{
+		words: []string{"<pad>", "<bos>", "<eos>", "<unk>"},
+		ids:   make(map[string]int, len(words)+NumReserved),
+	}
+	for i, w := range v.words {
+		v.ids[w] = i
+	}
+	for _, w := range words {
+		if _, ok := v.ids[w]; ok {
+			continue
+		}
+		v.ids[w] = len(v.words)
+		v.words = append(v.words, w)
+	}
+	return v
+}
+
+// Size returns the number of tokens including reserved ids.
+func (v *Vocab) Size() int { return len(v.words) }
+
+// ID returns the id of word, or UNK if absent.
+func (v *Vocab) ID(word string) int {
+	if id, ok := v.ids[word]; ok {
+		return id
+	}
+	return UNK
+}
+
+// Has reports whether word is in the vocabulary.
+func (v *Vocab) Has(word string) bool {
+	_, ok := v.ids[word]
+	return ok
+}
+
+// Word returns the word for id; out-of-range ids render as <inv:N> so a
+// corrupted generation remains printable.
+func (v *Vocab) Word(id int) string {
+	if id < 0 || id >= len(v.words) {
+		return fmt.Sprintf("<inv:%d>", id)
+	}
+	return v.words[id]
+}
+
+// Words returns a copy of the vocabulary in id order.
+func (v *Vocab) Words() []string {
+	out := make([]string, len(v.words))
+	copy(out, v.words)
+	return out
+}
+
+// Encode tokenizes text (whitespace-separated words) into ids, without
+// BOS/EOS framing.
+func (v *Vocab) Encode(text string) []int {
+	fields := strings.Fields(text)
+	ids := make([]int, len(fields))
+	for i, w := range fields {
+		ids[i] = v.ID(w)
+	}
+	return ids
+}
+
+// EncodeWords maps a word slice to ids.
+func (v *Vocab) EncodeWords(words []string) []int {
+	ids := make([]int, len(words))
+	for i, w := range words {
+		ids[i] = v.ID(w)
+	}
+	return ids
+}
+
+// Decode renders ids as a space-joined string, stopping at EOS and
+// skipping BOS/PAD.
+func (v *Vocab) Decode(ids []int) string {
+	var b strings.Builder
+	for _, id := range ids {
+		if id == EOS {
+			break
+		}
+		if id == BOS || id == PAD {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(v.Word(id))
+	}
+	return b.String()
+}
+
+// DecodeAll renders every id (including specials, not stopping at EOS);
+// used when inspecting corrupted outputs.
+func (v *Vocab) DecodeAll(ids []int) string {
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = v.Word(id)
+	}
+	return strings.Join(parts, " ")
+}
+
+// Merge returns a vocabulary containing the union of the word sets of all
+// given vocabularies (reserved tokens first, then words sorted for
+// determinism).
+func Merge(vocabs ...*Vocab) *Vocab {
+	set := make(map[string]bool)
+	for _, v := range vocabs {
+		for _, w := range v.words[NumReserved:] {
+			set[w] = true
+		}
+	}
+	words := make([]string, 0, len(set))
+	for w := range set {
+		words = append(words, w)
+	}
+	sort.Strings(words)
+	return NewVocab(words)
+}

@@ -1,0 +1,105 @@
+package token
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestReservedIDs(t *testing.T) {
+	v := NewVocab([]string{"hello", "world"})
+	if v.ID("<pad>") != PAD || v.ID("<bos>") != BOS || v.ID("<eos>") != EOS || v.ID("<unk>") != UNK {
+		t.Fatal("reserved ids misplaced")
+	}
+	if v.Size() != NumReserved+2 {
+		t.Fatalf("size = %d", v.Size())
+	}
+}
+
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	v := NewVocab([]string{"a", "b", "c"})
+	ids := v.Encode("a c b b")
+	if got := v.Decode(ids); got != "a c b b" {
+		t.Fatalf("roundtrip = %q", got)
+	}
+}
+
+func TestUnknownWords(t *testing.T) {
+	v := NewVocab([]string{"a"})
+	ids := v.Encode("a zzz")
+	if ids[1] != UNK {
+		t.Fatal("unknown word should map to UNK")
+	}
+	if v.Has("zzz") {
+		t.Fatal("Has should be false for unknown")
+	}
+}
+
+func TestDecodeStopsAtEOS(t *testing.T) {
+	v := NewVocab([]string{"a", "b"})
+	ids := []int{v.ID("a"), EOS, v.ID("b")}
+	if got := v.Decode(ids); got != "a" {
+		t.Fatalf("Decode should stop at EOS, got %q", got)
+	}
+	if got := v.DecodeAll(ids); got != "a <eos> b" {
+		t.Fatalf("DecodeAll = %q", got)
+	}
+}
+
+func TestDecodeSkipsSpecials(t *testing.T) {
+	v := NewVocab([]string{"x"})
+	if got := v.Decode([]int{BOS, PAD, v.ID("x")}); got != "x" {
+		t.Fatalf("Decode = %q", got)
+	}
+}
+
+func TestInvalidIDPrintable(t *testing.T) {
+	v := NewVocab([]string{"x"})
+	if got := v.Word(999); got != "<inv:999>" {
+		t.Fatalf("Word(999) = %q", got)
+	}
+	if got := v.Word(-1); got != "<inv:-1>" {
+		t.Fatalf("Word(-1) = %q", got)
+	}
+}
+
+func TestDeduplication(t *testing.T) {
+	v := NewVocab([]string{"a", "a", "b", "a"})
+	if v.Size() != NumReserved+2 {
+		t.Fatalf("dedup failed, size %d", v.Size())
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := NewVocab([]string{"x", "y"})
+	b := NewVocab([]string{"y", "z"})
+	m := Merge(a, b)
+	for _, w := range []string{"x", "y", "z"} {
+		if !m.Has(w) {
+			t.Fatalf("merged vocab missing %q", w)
+		}
+	}
+	if m.Size() != NumReserved+3 {
+		t.Fatalf("merged size = %d", m.Size())
+	}
+}
+
+// Property: Word(ID(w)) == w for every vocabulary word.
+func TestWordIDInverse(t *testing.T) {
+	v := NewVocab([]string{"alpha", "beta", "gamma", "delta"})
+	f := func(idx uint8) bool {
+		w := v.Words()[int(idx)%v.Size()]
+		return v.Word(v.ID(w)) == w
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWordsIsCopy(t *testing.T) {
+	v := NewVocab([]string{"a"})
+	ws := v.Words()
+	ws[0] = "mutated"
+	if v.Word(0) != "<pad>" {
+		t.Fatal("Words leaked internal storage")
+	}
+}

@@ -1,0 +1,96 @@
+package train
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/token"
+)
+
+// TestDenoisingGradientDiffers: corrupting an input token while keeping
+// labels clean must change the loss/gradients relative to the clean
+// sequence — the signal that teaches recovery (Observation #10's
+// mechanism).
+func TestDenoisingGradientDiffers(t *testing.T) {
+	tr, err := NewTrainable(tinyConfig(), 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := []int{1, 5, 6, 7, 8, 9, 10, 2}
+	mask := make([]bool, len(seq)-1)
+	for i := 2; i < len(mask); i++ {
+		mask[i] = true
+	}
+	labels := seq[1:]
+	clean := append([]int(nil), seq[:len(seq)-1]...)
+
+	tr.ZeroGrad()
+	cleanLoss := tr.LossAndGradIO(clean, labels, mask)
+	cleanGrad := append([]float32(nil), tr.Embed.G.Data...)
+
+	corrupted := append([]int(nil), clean...)
+	corrupted[4] = 10 // change one completion-region input token
+	tr.ZeroGrad()
+	corruptLoss := tr.LossAndGradIO(corrupted, labels, mask)
+
+	if cleanLoss == corruptLoss {
+		t.Fatal("corrupted input produced identical loss")
+	}
+	diff := false
+	for i, g := range tr.Embed.G.Data {
+		if g != cleanGrad[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("corrupted input produced identical gradients")
+	}
+}
+
+// TestDenoisingLabelsStayClean: the gradient at the position predicting
+// the corrupted token still pushes toward the CLEAN label (the label
+// distribution's target row is the clean token, not the corrupted one).
+func TestDenoisingLabelsStayClean(t *testing.T) {
+	tr, err := NewTrainable(tinyConfig(), 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := []int{1, 5, 6, 7, 8, 9, 10, 2}
+	labels := seq[1:]
+	inputs := append([]int(nil), seq[:len(seq)-1]...)
+	inputs[4] = 10 // corrupted; labels[3] == 8 (clean) predicts position 4
+
+	mask := make([]bool, len(inputs))
+	mask[3] = true // only the prediction of the (clean) token at pos 4
+
+	tr.ZeroGrad()
+	loss := tr.LossAndGradIO(inputs, labels, mask)
+	// The loss must be the cross-entropy against label 8, not 10: verify
+	// by flipping the label and seeing a different loss.
+	labels2 := append([]int(nil), labels...)
+	labels2[3] = 10
+	tr.ZeroGrad()
+	loss2 := tr.LossAndGradIO(inputs, labels2, mask)
+	if math.Abs(loss-loss2) < 1e-9 {
+		t.Fatal("loss insensitive to which label is supervised")
+	}
+}
+
+// TestGreedyStopsAtEOS ensures trainer-side greedy matches inference
+// conventions (EOS stop, specials banned).
+func TestGreedyConventions(t *testing.T) {
+	tr, err := NewTrainable(tinyConfig(), 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tr.Greedy([]int{1, 5}, 6)
+	for _, tok := range out {
+		if tok == token.PAD || tok == token.BOS || tok == token.UNK || tok == token.EOS {
+			t.Fatalf("greedy emitted special token %d", tok)
+		}
+	}
+	if len(out) > 6 {
+		t.Fatal("greedy exceeded maxNew")
+	}
+}

@@ -1,0 +1,177 @@
+// Package train is the training substrate that produces the task-skilled
+// tiny models of the study: a from-scratch reverse-mode implementation of
+// the full Llama-block computation (embedding, RMSNorm, RoPE, causal
+// multi-head attention, SwiGLU MLP, cross-entropy) with an AdamW
+// optimizer. It exists because several of the paper's observations —
+// CoT recovery (Obs #10), subtle-vs-distorted math SDCs (Fig. 8, 12),
+// fine-tuned-model resilience (Obs #4) — require models that genuinely
+// perform their task, not random weights.
+//
+// The trained parameters export into internal/model for inference, so
+// the model under fault injection is exactly the model that was trained.
+package train
+
+import (
+	"math"
+
+	"repro/internal/model"
+	"repro/internal/tensor"
+)
+
+// Param is one trainable tensor with its gradient and Adam moments.
+type Param struct {
+	W *tensor.Tensor
+	G *tensor.Tensor
+	m []float32
+	v []float32
+	// decay marks the parameter for weight decay (matrices yes, norm
+	// gains and embeddings no — the usual AdamW convention).
+	decay bool
+}
+
+func newParam(rows, cols int, decay bool) *Param {
+	return &Param{
+		W:     tensor.New(rows, cols),
+		G:     tensor.New(rows, cols),
+		m:     make([]float32, rows*cols),
+		v:     make([]float32, rows*cols),
+		decay: decay,
+	}
+}
+
+// zeroGrad clears the gradient buffer.
+func (p *Param) zeroGrad() {
+	for i := range p.G.Data {
+		p.G.Data[i] = 0
+	}
+}
+
+// TBlock is one trainable transformer block.
+type TBlock struct {
+	AttnNorm, MLPNorm *Param // 1 x d gains
+	Wq, Wk, Wv, Wo    *Param
+	WGate, WUp, WDown *Param
+}
+
+// Trainable is a dense FP32 model under training.
+type Trainable struct {
+	Cfg       model.Config
+	Embed     *Param
+	Blocks    []*TBlock
+	FinalNorm *Param
+	LMHead    *Param
+
+	ropeCos, ropeSin [][]float32
+	step             int
+}
+
+// params enumerates every parameter.
+func (tr *Trainable) params() []*Param {
+	ps := []*Param{tr.Embed, tr.FinalNorm, tr.LMHead}
+	for _, b := range tr.Blocks {
+		ps = append(ps, b.AttnNorm, b.MLPNorm, b.Wq, b.Wk, b.Wv, b.Wo, b.WGate, b.WUp, b.WDown)
+	}
+	return ps
+}
+
+// ZeroGrad clears all gradients.
+func (tr *Trainable) ZeroGrad() {
+	for _, p := range tr.params() {
+		p.zeroGrad()
+	}
+}
+
+// NumParams returns the trainable parameter count.
+func (tr *Trainable) NumParams() int {
+	n := 0
+	for _, p := range tr.params() {
+		n += len(p.W.Data)
+	}
+	return n
+}
+
+// CloneWeights returns an independent copy of the model with the same
+// weights but fresh gradients and optimizer state — the starting point of
+// a fine-tuning run.
+func (tr *Trainable) CloneWeights() *Trainable {
+	nt := &Trainable{Cfg: tr.Cfg}
+	cp := func(p *Param) *Param {
+		np := newParam(p.W.Rows, p.W.Cols, p.decay)
+		copy(np.W.Data, p.W.Data)
+		return np
+	}
+	nt.Embed = cp(tr.Embed)
+	nt.FinalNorm = cp(tr.FinalNorm)
+	nt.LMHead = cp(tr.LMHead)
+	for _, b := range tr.Blocks {
+		nt.Blocks = append(nt.Blocks, &TBlock{
+			AttnNorm: cp(b.AttnNorm), MLPNorm: cp(b.MLPNorm),
+			Wq: cp(b.Wq), Wk: cp(b.Wk), Wv: cp(b.Wv), Wo: cp(b.Wo),
+			WGate: cp(b.WGate), WUp: cp(b.WUp), WDown: cp(b.WDown),
+		})
+	}
+	nt.initRope()
+	return nt
+}
+
+// Opt is the AdamW configuration.
+type Opt struct {
+	LR          float64
+	Beta1       float64
+	Beta2       float64
+	Eps         float64
+	WeightDecay float64
+	// Warmup linearly ramps the learning rate over this many steps.
+	Warmup int
+	// ClipNorm rescales the global gradient norm above this bound
+	// (0 disables clipping).
+	ClipNorm float64
+}
+
+// DefaultOpt returns sensible hyperparameters for the tiny task models.
+func DefaultOpt() Opt {
+	return Opt{LR: 3e-3, Beta1: 0.9, Beta2: 0.95, Eps: 1e-8, WeightDecay: 0.02, Warmup: 30, ClipNorm: 1}
+}
+
+// Step applies one AdamW update from the accumulated gradients.
+func (tr *Trainable) Step(opt Opt) {
+	tr.step++
+	lr := opt.LR
+	if opt.Warmup > 0 && tr.step < opt.Warmup {
+		lr *= float64(tr.step) / float64(opt.Warmup)
+	}
+	if opt.ClipNorm > 0 {
+		var ss float64
+		for _, p := range tr.params() {
+			for _, g := range p.G.Data {
+				ss += float64(g) * float64(g)
+			}
+		}
+		norm := math.Sqrt(ss)
+		if norm > opt.ClipNorm {
+			scale := float32(opt.ClipNorm / norm)
+			for _, p := range tr.params() {
+				for i := range p.G.Data {
+					p.G.Data[i] *= scale
+				}
+			}
+		}
+	}
+	b1c := 1 - math.Pow(opt.Beta1, float64(tr.step))
+	b2c := 1 - math.Pow(opt.Beta2, float64(tr.step))
+	for _, p := range tr.params() {
+		for i, g := range p.G.Data {
+			gm := float64(g)
+			p.m[i] = float32(opt.Beta1*float64(p.m[i]) + (1-opt.Beta1)*gm)
+			p.v[i] = float32(opt.Beta2*float64(p.v[i]) + (1-opt.Beta2)*gm*gm)
+			mhat := float64(p.m[i]) / b1c
+			vhat := float64(p.v[i]) / b2c
+			upd := lr * mhat / (math.Sqrt(vhat) + opt.Eps)
+			w := float64(p.W.Data[i])
+			if p.decay {
+				w -= lr * opt.WeightDecay * w
+			}
+			p.W.Data[i] = float32(w - upd)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package train
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/numerics"
+	"repro/internal/prng"
+	"repro/internal/tasks"
+	"repro/internal/tensor"
+	"repro/internal/token"
+)
+
+// Config drives one training run.
+type Config struct {
+	Steps     int
+	Batch     int
+	Opt       Opt
+	Seed      uint64
+	EvalEvery int // 0 disables progress evaluation
+	EvalN     int
+	// Logf receives progress lines; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+// DefaultConfig returns the settings used to produce the shipped
+// checkpoints.
+func DefaultConfig(seed uint64) Config {
+	return Config{Steps: 400, Batch: 16, Opt: DefaultOpt(), Seed: seed, EvalEvery: 100, EvalN: 32}
+}
+
+// BuildSequence assembles the training token sequence and loss mask for a
+// (prompt, completion) pair: seq = prompt ++ completion ++ EOS, with the
+// loss covering exactly the completion tokens and the EOS.
+func BuildSequence(prompt, completion []int) (seq []int, mask []bool) {
+	seq = append(append(append([]int{}, prompt...), completion...), token.EOS)
+	mask = make([]bool, len(seq)-1)
+	for t := len(prompt) - 1; t < len(mask); t++ {
+		mask[t] = true
+	}
+	return seq, mask
+}
+
+// Run trains a fresh model on task for cfg.Steps steps and returns it.
+// The architecture comes from arch (vocab size is overwritten from the
+// task; MaxSeq must cover task.MaxLen()).
+func Run(task tasks.TrainTask, arch model.Config, cfg Config) (*Trainable, error) {
+	arch.Vocab = task.Vocab().Size()
+	if arch.MaxSeq < task.MaxLen() {
+		arch.MaxSeq = task.MaxLen()
+	}
+	tr, err := NewTrainable(arch, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if err := Continue(tr, task, cfg); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// Continue trains an existing model further (the "fine-tuning" stage of
+// the general-vs-fine-tuned comparison, Observation #4).
+func Continue(tr *Trainable, task tasks.TrainTask, cfg Config) error {
+	if tr.Cfg.Vocab != task.Vocab().Size() {
+		return fmt.Errorf("train: model vocab %d != task vocab %d", tr.Cfg.Vocab, task.Vocab().Size())
+	}
+	src := prng.New(cfg.Seed ^ 0xfeed)
+	for step := 1; step <= cfg.Steps; step++ {
+		tr.ZeroGrad()
+		var loss float64
+		noisy, _ := task.(tasks.NoisyTask)
+		for b := 0; b < cfg.Batch; b++ {
+			esrc := src.Split(uint64(step)*1000 + uint64(b))
+			prompt, completion := task.Pair(esrc)
+			seq, mask := BuildSequence(prompt, completion)
+			labels := seq[1:]
+			inputs := append([]int(nil), seq[:len(seq)-1]...)
+			if noisy != nil {
+				inputs = noisy.CorruptInputs(esrc, inputs, len(prompt))
+			}
+			loss += tr.LossAndGradIO(inputs, labels, mask)
+		}
+		loss /= float64(cfg.Batch)
+		// Average the accumulated gradients over the batch.
+		inv := float32(1.0 / float64(cfg.Batch))
+		for _, p := range tr.params() {
+			p.G.ScaleInPlace(inv)
+		}
+		tr.Step(cfg.Opt)
+		if cfg.Logf != nil && (cfg.EvalEvery > 0 && step%cfg.EvalEvery == 0 || step == cfg.Steps) {
+			acc := tr.EvalExactMatch(task, cfg.Seed^0xe7a1, cfg.EvalN)
+			cfg.Logf("step %4d  loss %.4f  exact-match %.3f", step, loss, acc)
+		}
+	}
+	return nil
+}
+
+// Greedy decodes greedily from prompt by re-running the teacher-forced
+// forward each step (fine at training scale). Returns generated tokens
+// (EOS excluded).
+func (tr *Trainable) Greedy(prompt []int, maxNew int) []int {
+	seq := append([]int(nil), prompt...)
+	var out []int
+	for i := 0; i < maxNew && len(seq) < tr.Cfg.MaxSeq; i++ {
+		sc := tr.forwardSeq(seq)
+		logits := sc.logits.Row(sc.T - 1)
+		next := argmaxBanned(logits)
+		if next == token.EOS {
+			break
+		}
+		out = append(out, next)
+		seq = append(seq, next)
+	}
+	return out
+}
+
+// argmaxBanned is greedy argmax with PAD/BOS/UNK banned, matching the
+// inference-time generation settings.
+func argmaxBanned(logits []float32) int {
+	best, bestv := token.EOS, logits[token.EOS]
+	for i, v := range logits {
+		if i == token.PAD || i == token.BOS || i == token.UNK {
+			continue
+		}
+		if v > bestv {
+			best, bestv = i, v
+		}
+	}
+	return best
+}
+
+// EvalExactMatch measures the fraction of n fresh task samples whose
+// greedy completion exactly matches the gold completion.
+func (tr *Trainable) EvalExactMatch(task tasks.TrainTask, seed uint64, n int) float64 {
+	src := prng.New(seed)
+	hits := 0
+	for i := 0; i < n; i++ {
+		prompt, completion := task.Pair(src.Split(uint64(i)))
+		got := tr.Greedy(prompt, len(completion)+2)
+		if equalInts(got, completion) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(n)
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if v != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Export copies the trained parameters into an inference model with the
+// given name and datatype. The returned model is independent of the
+// Trainable (weights are cloned, then rounded to dt by the model
+// package).
+func (tr *Trainable) Export(name string, dt numerics.DType) *model.Model {
+	cfg := tr.Cfg
+	cfg.Name = name
+	cfg.DType = dt
+	m := &model.Model{
+		Cfg:       cfg,
+		Embed:     tr.Embed.W.Clone(),
+		FinalNorm: cloneRow(tr.FinalNorm.W),
+		LMHead:    model.NewDense(tr.LMHead.W.Clone(), dt),
+	}
+	for _, blk := range tr.Blocks {
+		m.Blocks = append(m.Blocks, &model.Block{
+			AttnNorm: cloneRow(blk.AttnNorm.W),
+			MLPNorm:  cloneRow(blk.MLPNorm.W),
+			Wq:       model.NewDense(blk.Wq.W.Clone(), dt),
+			Wk:       model.NewDense(blk.Wk.W.Clone(), dt),
+			Wv:       model.NewDense(blk.Wv.W.Clone(), dt),
+			Wo:       model.NewDense(blk.Wo.W.Clone(), dt),
+			MLP: &model.MLPWeights{
+				WGate: model.NewDense(blk.WGate.W.Clone(), dt),
+				WUp:   model.NewDense(blk.WUp.W.Clone(), dt),
+				WDown: model.NewDense(blk.WDown.W.Clone(), dt),
+			},
+		})
+	}
+	m.InitRope()
+	return m
+}
+
+func cloneRow(t *tensor.Tensor) []float32 {
+	return append([]float32(nil), t.Data...)
+}
