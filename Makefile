@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: check fmt vet build test race bench
+
+## check: the full CI gate — formatting, vet, build, tests, race detector.
+check: fmt vet build test race
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+## bench: the campaign throughput benchmarks (Figure reproductions live
+## in bench_test.go at the repo root).
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .

@@ -99,6 +99,14 @@ type InstanceBaseline struct {
 	ExpertTrace [][]int
 	// Steps counts decode steps (the runtime proxy of Figure 19).
 	Steps int
+
+	// prefix is the post-prompt KV snapshot captured during the fault-free
+	// run, and prefixLogits the logits after the final prompt token. The
+	// campaign engine forks trials from them instead of re-running prefill
+	// when that is sound (generative computational faults, whose target
+	// iteration lies past the prompt). Baseline-only; nil after Rerun.
+	prefix       *model.State
+	prefixLogits []float32
 }
 
 // Baseline is the fault-free evaluation of a suite on a model.
@@ -124,7 +132,7 @@ func EvalBaseline(m *model.Model, suite *tasks.Suite, gs gen.Settings, check Ans
 	goldHits := 0
 	for i := range suite.Instances {
 		inst := &suite.Instances[i]
-		ib := evalInstance(m, suite, inst, gs, check, true)
+		ib := evalInstance(m, suite, inst, gs, check, true, true)
 		b.Instances = append(b.Instances, ib)
 		if ib.AnswerOK {
 			goldHits++
@@ -144,8 +152,10 @@ func EvalBaseline(m *model.Model, suite *tasks.Suite, gs gen.Settings, check Ans
 
 // evalInstance runs one instance on the (possibly fault-armed) model.
 // selfRefOK makes an empty instance reference count as a correct answer
-// (fault-free runs define the reference).
-func evalInstance(m *model.Model, suite *tasks.Suite, inst *tasks.Instance, gs gen.Settings, check AnswerChecker, selfRefOK bool) InstanceBaseline {
+// (fault-free runs define the reference). snap additionally captures the
+// post-prompt state and logits into the returned baseline so later trials
+// can resume from the shared prefix.
+func evalInstance(m *model.Model, suite *tasks.Suite, inst *tasks.Instance, gs gen.Settings, check AnswerChecker, selfRefOK, snap bool) InstanceBaseline {
 	var ib InstanceBaseline
 	if suite.Type == tasks.MultipleChoice {
 		choice, _ := gen.ChooseOption(m, inst.Prompt, inst.Options)
@@ -158,11 +168,33 @@ func evalInstance(m *model.Model, suite *tasks.Suite, inst *tasks.Instance, gs g
 
 	gs.MaxNewTokens = inst.MaxNew
 	gs.MinNewTokens = inst.MinNew
-	res, trace := generateWithTrace(m, inst.Prompt, gs)
+	st := m.NewState()
+	// Expert-trace comparison is only defined for the single-path greedy
+	// mode used by the MoE study (beam search forks states).
+	trace := m.Cfg.IsMoE() && gs.NumBeams <= 1
+	if trace {
+		st.EnableExpertTrace()
+	}
+	logits := st.Prefill(inst.Prompt)
+	if snap {
+		ib.prefix = st.Fork()
+		ib.prefixLogits = append([]float32(nil), logits...)
+	}
+	res := gen.GenerateFrom(m, st, logits, gs)
+	res.Steps += len(inst.Prompt)
+	if trace {
+		ib.ExpertTrace = st.ExpertTrace
+	}
+	finishGenerative(&ib, suite, inst, res, check, selfRefOK)
+	return ib
+}
+
+// finishGenerative scores a completed generation into ib — shared by the
+// full path above and the campaign's resume-from-prefix path.
+func finishGenerative(ib *InstanceBaseline, suite *tasks.Suite, inst *tasks.Instance, res gen.Result, check AnswerChecker, selfRefOK bool) {
 	ib.Tokens = res.Tokens
 	ib.Text = suite.Vocab.Decode(res.Tokens)
 	ib.Steps = res.Steps
-	ib.ExpertTrace = trace
 
 	ib.Reference = inst.Reference
 	if ib.Reference == "" {
@@ -175,7 +207,6 @@ func evalInstance(m *model.Model, suite *tasks.Suite, inst *tasks.Instance, gs g
 	if strings.HasPrefix(suite.Name, "gsm8k") {
 		ib.ReasoningLen = reasoningLen(res.Tokens, suite)
 	}
-	return ib
 }
 
 // RerunInstance executes one instance on m (typically with a fault armed
@@ -185,26 +216,11 @@ func evalInstance(m *model.Model, suite *tasks.Suite, inst *tasks.Instance, gs g
 // interesting trials through this to show example outputs (Figures 7,
 // 12, 15).
 func RerunInstance(m *model.Model, suite *tasks.Suite, inst *tasks.Instance) string {
-	ib := evalInstance(m, suite, inst, defaultGen(), DefaultChecker(suite), false)
+	ib := evalInstance(m, suite, inst, defaultGen(), DefaultChecker(suite), false, false)
 	if suite.Type == tasks.MultipleChoice {
 		return suite.Vocab.DecodeAll(inst.Options[ib.Choice])
 	}
 	return ib.Text
-}
-
-// generateWithTrace runs generation, capturing MoE expert selections for
-// greedy decoding (beam search forks states; expert-trace comparison is
-// only defined for the single-path greedy mode used by the MoE study).
-func generateWithTrace(m *model.Model, prompt []int, gs gen.Settings) (gen.Result, [][]int) {
-	if !m.Cfg.IsMoE() || gs.NumBeams > 1 {
-		return gen.Generate(m, prompt, gs), nil
-	}
-	st := m.NewState()
-	st.EnableExpertTrace()
-	logits := st.Prefill(prompt)
-	res := gen.ContinueGreedy(m, st, logits, gs)
-	res.Steps += len(prompt)
-	return res, st.ExpertTrace
 }
 
 // scoreSteps estimates decode steps for a multiple-choice instance: the

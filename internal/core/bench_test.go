@@ -1,0 +1,44 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/numerics"
+	"repro/internal/tasks"
+)
+
+// benchCampaign measures campaign throughput on a long-prompt generative
+// computational-fault workload — the configuration the prefix-cache
+// engine accelerates. seedPath pins the run to the seed execution path
+// (sequential prefill, deep clones, full re-prefill per trial) so the two
+// benchmarks bracket the engine's speedup.
+func benchCampaign(b *testing.B, seedPath bool) {
+	vocab := tasks.GeneralVocab()
+	cfg := model.StandardConfig("bench", vocab.Size(), numerics.BF16)
+	m := model.MustBuild(model.Spec{Config: cfg, Family: model.QwenS, Seed: 8})
+	suite := tasks.NewSelfRefSuite("bench-prefix", 4, 2, 120, 12, []metrics.Kind{metrics.KindBLEU})
+	c := Campaign{Model: m, Suite: suite, Fault: faults.Comp2Bit, Trials: 32, Seed: 9}
+	if seedPath {
+		c.Model = m.Clone()
+		c.Model.SetSequentialPrefill(true)
+		c.noPrefixReuse = true
+		c.deepClones = true
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := c.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Trials) != c.Trials {
+			b.Fatal("short campaign")
+		}
+	}
+	b.ReportMetric(float64(c.Trials)*float64(b.N)/b.Elapsed().Seconds(), "trials/s")
+}
+
+func BenchmarkCampaignSeedPath(b *testing.B)     { benchCampaign(b, true) }
+func BenchmarkCampaignPrefixEngine(b *testing.B) { benchCampaign(b, false) }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/faults"
 	"repro/internal/gen"
@@ -48,6 +49,13 @@ type Campaign struct {
 	// once per installation; share state through the closure if the
 	// mitigation needs campaign-wide counters.
 	ExtraHook func() model.Hook
+
+	// noPrefixReuse forces every trial through full prefill and
+	// deepClones gives every worker a deep model copy — together they
+	// recover the seed execution path exactly. Test knobs for the golden
+	// equivalence tests; production campaigns leave them false.
+	noPrefixReuse bool
+	deepClones    bool
 }
 
 // Trial is the outcome of one injection.
@@ -134,6 +142,14 @@ func (c Campaign) Run() (*Result, error) {
 		return nil, err
 	}
 
+	// Split the machine between campaign workers: each worker's matmuls
+	// get an equal share of the cores, so one trial's batched prefill
+	// does not starve the rest of the pool.
+	threadsPer := runtime.GOMAXPROCS(0) / workers
+	if threadsPer < 1 {
+		threadsPer = 1
+	}
+
 	res := &Result{Campaign: c, Baseline: baseline, Trials: make([]Trial, c.Trials)}
 	seedSrc := prng.New(c.Seed ^ 0xca3b417a)
 	// The jobs channel is pre-filled and closed before workers start, so
@@ -145,21 +161,34 @@ func (c Campaign) Run() (*Result, error) {
 	close(jobs)
 
 	var wg sync.WaitGroup
+	var stop atomic.Bool
 	errs := make(chan error, workers)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			wm := c.Model.Clone()
+			// Workers share the parent's weights copy-on-write: only a
+			// memory-fault target is privatized (at Arm time), so per-worker
+			// memory is the KV cache, not the model.
+			wm := c.Model.CloneShared()
+			if c.deepClones {
+				wm = c.Model.Clone()
+			}
+			wm.SetThreads(threadsPer)
 			sampler, err := faults.NewSampler(wm, c.Filter)
 			if err != nil {
 				errs <- err
+				stop.Store(true)
 				return
 			}
 			for t := range jobs {
+				if stop.Load() {
+					return
+				}
 				trial, err := c.runTrial(wm, sampler, seedSrc.Split(uint64(t)), t, baseline, gs, check)
 				if err != nil {
 					errs <- err
+					stop.Store(true)
 					return
 				}
 				res.Trials[t] = trial
@@ -197,7 +226,12 @@ func (c Campaign) runTrial(wm *model.Model, sampler *faults.Sampler, src *prng.S
 		// Mitigations observe values after the fault hook mutated them.
 		wm.AddHook(c.ExtraHook())
 	}
-	ib := evalInstance(wm, c.Suite, &inst, gs, check, false)
+	var ib InstanceBaseline
+	if c.reusePrefix(base) {
+		ib = c.resumeInstance(wm, base, &inst, gs, check)
+	} else {
+		ib = evalInstance(wm, c.Suite, &inst, gs, check, false, false)
+	}
 	fired := inj.Fired
 	inj.Disarm()
 	wm.ClearHooks()
@@ -225,6 +259,44 @@ func (c Campaign) runTrial(wm *model.Model, sampler *faults.Sampler, src *prng.S
 		trial.ExpertChanged = !expertTraceEqual(ib.ExpertTrace, base.ExpertTrace)
 	}
 	return trial, nil
+}
+
+// reusePrefix reports whether a trial may resume from the baseline's
+// post-prompt snapshot instead of re-running prefill. Sound only when the
+// faulted computation is bit-identical to the fault-free one over the
+// whole prompt: generative computational faults target absolute position
+// promptLen + GenIter, which never lands inside the prompt. Memory faults
+// corrupt the weights prefill itself reads, and multiple-choice scoring
+// (promptLen 0) can be struck at any prompt position, so both keep the
+// full path.
+func (c Campaign) reusePrefix(base *InstanceBaseline) bool {
+	return !c.noPrefixReuse &&
+		c.Suite.Type != tasks.MultipleChoice &&
+		!c.Fault.IsMemory() &&
+		base.prefix != nil
+}
+
+// resumeInstance runs a trial from the baseline's shared prefix: the
+// snapshot is forked onto the worker's clone (so the worker's fault and
+// mitigation hooks fire from the first generated token) and decoding
+// continues from a private copy of the snapshot logits — both decode
+// strategies mask logits in place, so the shared slice must not be handed
+// over directly.
+func (c Campaign) resumeInstance(wm *model.Model, base *InstanceBaseline, inst *tasks.Instance, gs gen.Settings, check AnswerChecker) InstanceBaseline {
+	var ib InstanceBaseline
+	gs.MaxNewTokens = inst.MaxNew
+	gs.MinNewTokens = inst.MinNew
+	st := base.prefix.ForkFor(wm)
+	logits := append([]float32(nil), base.prefixLogits...)
+	res := gen.GenerateFrom(wm, st, logits, gs)
+	// Steps is the runtime proxy for the modeled inference, which still
+	// includes the prompt the snapshot stands in for.
+	res.Steps += len(inst.Prompt)
+	if wm.Cfg.IsMoE() && gs.NumBeams <= 1 {
+		ib.ExpertTrace = st.ExpertTrace
+	}
+	finishGenerative(&ib, c.Suite, inst, res, check, false)
+	return ib
 }
 
 // faultWindow returns the iteration window and the Arm promptLen for an

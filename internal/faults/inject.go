@@ -27,7 +27,10 @@ type Injection struct {
 func Arm(m *model.Model, site Site, promptLen int) (*Injection, error) {
 	inj := &Injection{Site: site, m: m}
 	if site.Fault.IsMemory() {
-		w, err := m.Layer(site.Layer)
+		// LayerForWrite privatizes the target tensor on a weight-sharing
+		// clone before the flip, so sibling campaign workers never observe
+		// each other's faults.
+		w, err := m.LayerForWrite(site.Layer)
 		if err != nil {
 			return nil, err
 		}

@@ -69,6 +69,18 @@ func Generate(m *model.Model, prompt []int, s Settings) Result {
 	return beam(m, prompt, s)
 }
 
+// GenerateFrom decodes from an already-prefilled state whose last logits
+// are given — the prefix-cache entry point. The caller keeps ownership of
+// logits; pass a private copy when the backing slice must survive (both
+// strategies mask it in place). Steps counts only the continuation, so
+// reused-prefix trials do not recount prompt positions they never ran.
+func GenerateFrom(m *model.Model, st *model.State, logits []float32, s Settings) Result {
+	if s.NumBeams <= 1 {
+		return ContinueGreedy(m, st, logits, s)
+	}
+	return ContinueBeam(m, st, logits, s)
+}
+
 // maskLogits applies the settings' token bans in place and returns the
 // possibly-modified slice.
 func maskLogits(logits []float32, s Settings, step int) []float32 {
@@ -128,10 +140,18 @@ type hypothesis struct {
 func beam(m *model.Model, prompt []int, s Settings) Result {
 	st := m.NewState()
 	logits := st.Prefill(prompt)
+	res := ContinueBeam(m, st, logits, s)
+	res.Steps += len(prompt)
+	return res
+}
+
+// ContinueBeam runs beam search from an already-prefilled state whose
+// last logits are given. The returned Steps counts only the continuation.
+func ContinueBeam(m *model.Model, st *model.State, logits []float32, s Settings) Result {
 	first := &hypothesis{st: st, logits: append([]float32(nil), logits...)}
 	live := []*hypothesis{first}
 	var done []*hypothesis
-	steps := len(prompt)
+	steps := 0
 
 	for i := 0; i < s.MaxNewTokens && len(live) > 0; i++ {
 		type cand struct {

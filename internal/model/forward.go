@@ -63,8 +63,18 @@ func (st *State) Reset() {
 // Fork returns an independent copy of the state: position and the live
 // prefix of the KV cache are duplicated, scratch buffers are fresh. Beam
 // search forks candidate hypotheses from a shared prefix with this.
-func (st *State) Fork() *State {
-	ns := st.m.NewState()
+func (st *State) Fork() *State { return st.ForkFor(st.m) }
+
+// ForkFor returns a copy of the state bound to m2, which must be the
+// state's own model or a clone with the same architecture. Campaign
+// workers fork the baseline's post-prompt snapshot onto their own clone
+// so the clone's hooks — not the baseline model's — fire when generation
+// continues from the shared prefix.
+func (st *State) ForkFor(m2 *Model) *State {
+	if m2.Cfg.DModel != st.m.Cfg.DModel || m2.Cfg.NBlocks != st.m.Cfg.NBlocks || m2.Cfg.MaxSeq != st.m.Cfg.MaxSeq {
+		panic("model: ForkFor across different architectures")
+	}
+	ns := m2.NewState()
 	ns.Pos = st.Pos
 	for i := range st.K {
 		n := st.Pos * st.m.Cfg.DModel
@@ -120,7 +130,7 @@ func (st *State) DecodeStep(tok int) []float32 {
 		copy(st.K[bi].Row(pos), st.k)
 		copy(st.V[bi].Row(pos), st.v)
 
-		m.attend(st, bi, pos)
+		m.attendAt(st, bi, pos, st.q, st.attnOut)
 
 		blk.Wo.Forward(st.h, st.attnOut)
 		m.finishLinear(LayerRef{bi, KindOut, -1}, pos, st.h)
@@ -171,11 +181,18 @@ func (m *Model) mlpForward(st *State, mlp *MLPWeights, base LayerRef, pos int, d
 // moeForward routes h through the top-K experts selected by the router
 // gate layer and writes the probability-weighted mixture to st.h.
 func (m *Model) moeForward(st *State, blk *Block, bi, pos int) {
-	cfg := &m.Cfg
 	blk.Router.Forward(st.routerLogits, st.h)
 	m.finishLinear(LayerRef{bi, KindRouter, -1}, pos, st.routerLogits)
+	m.moeMix(st, blk, bi, pos, st.routerLogits, st.h, st.h)
+}
 
-	sel := tensor.TopK(st.routerLogits, cfg.TopK)
+// moeMix routes the post-norm row h through the top-K experts selected by
+// the already-finished router logits and writes the probability-weighted
+// mixture to dst. dst may alias h. Batched prefill runs the router linear
+// for all positions at once and then mixes per position through here.
+func (m *Model) moeMix(st *State, blk *Block, bi, pos int, routerLogits, h, dst []float32) {
+	cfg := &m.Cfg
+	sel := tensor.TopK(routerLogits, cfg.TopK)
 	if st.ExpertTrace != nil {
 		st.ExpertTrace[bi] = append(st.ExpertTrace[bi], sel...)
 	}
@@ -183,7 +200,7 @@ func (m *Model) moeForward(st *State, blk *Block, bi, pos int) {
 	probs := make([]float32, len(sel))
 	var maxv float32 = float32(math.Inf(-1))
 	for i, e := range sel {
-		probs[i] = st.routerLogits[e]
+		probs[i] = routerLogits[e]
 		if probs[i] > maxv {
 			maxv = probs[i]
 		}
@@ -207,19 +224,19 @@ func (m *Model) moeForward(st *State, blk *Block, bi, pos int) {
 	mix := make([]float32, cfg.DModel)
 	out := make([]float32, cfg.DModel)
 	for i, e := range sel {
-		m.mlpForward(st, blk.Experts[e], LayerRef{bi, 0, e}, pos, out, st.h)
+		m.mlpForward(st, blk.Experts[e], LayerRef{bi, 0, e}, pos, out, h)
 		w := probs[i]
 		for j, v := range out {
 			mix[j] += w * v
 		}
 	}
-	copy(st.h, mix)
+	copy(dst, mix)
 }
 
-// attend computes causal multi-head attention for the token at pos using
-// the block's KV cache and writes the concatenated head outputs to
-// st.attnOut.
-func (m *Model) attend(st *State, bi, pos int) {
+// attendAt computes causal multi-head attention for the token at pos using
+// the block's KV cache: q is the position's rotated query row and the
+// concatenated head outputs are written to out.
+func (m *Model) attendAt(st *State, bi, pos int, qrow, out []float32) {
 	cfg := &m.Cfg
 	hd := cfg.HeadDim()
 	scale := 1 / math.Sqrt(float64(hd))
@@ -229,7 +246,7 @@ func (m *Model) attend(st *State, bi, pos int) {
 	scores := make([]float32, n)
 	for h := 0; h < cfg.NHeads; h++ {
 		off := h * hd
-		q := st.q[off : off+hd]
+		q := qrow[off : off+hd]
 		for t := 0; t < n; t++ {
 			krow := K.Row(t)[off : off+hd]
 			var dot float64
@@ -239,9 +256,9 @@ func (m *Model) attend(st *State, bi, pos int) {
 			scores[t] = float32(dot * scale)
 		}
 		tensor.SoftmaxRow(scores[:n])
-		out := st.attnOut[off : off+hd]
-		for i := range out {
-			out[i] = 0
+		o := out[off : off+hd]
+		for i := range o {
+			o[i] = 0
 		}
 		for t := 0; t < n; t++ {
 			w := scores[t]
@@ -250,7 +267,7 @@ func (m *Model) attend(st *State, bi, pos int) {
 			}
 			vrow := V.Row(t)[off : off+hd]
 			for i, vv := range vrow {
-				out[i] += w * vv
+				o[i] += w * vv
 			}
 		}
 	}
@@ -311,12 +328,13 @@ func (m *Model) initRope() {
 	}
 }
 
-// Prefill feeds every prompt token through DecodeStep and returns the
-// logits after the final prompt token (the distribution over the first
-// generated token). Prompt processing is sequential token recurrence —
-// identical dataflow to batched prefill for our purposes, since fault
-// injection targets per-token linear outputs.
-func (st *State) Prefill(prompt []int) []float32 {
+// prefillSequential feeds every prompt token through DecodeStep and
+// returns the logits after the final prompt token. This is the seed
+// per-token reference path; the batched Prefill in prefill.go is pinned
+// bit-for-bit to it by golden tests, and SetSequentialPrefill routes
+// Prefill back through here for those tests and for before/after
+// benchmarks.
+func (st *State) prefillSequential(prompt []int) []float32 {
 	if len(prompt) == 0 {
 		panic("model: empty prompt")
 	}

@@ -2,6 +2,7 @@ package model
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/numerics"
 	"repro/internal/tensor"
@@ -118,7 +119,45 @@ type Model struct {
 	ropeCos, ropeSin [][]float32
 
 	hooks []Hook
+
+	// threads bounds the goroutines batched prefill may use for its
+	// matmuls (0 = GOMAXPROCS). Campaigns set it per worker clone so the
+	// worker pool cannot oversubscribe the machine.
+	threads int
+
+	// sharedWeights marks a CloneShared copy: parameter storage is shared
+	// with the parent and must be privatized (copy-on-write) before any
+	// in-place mutation. privatized tracks which layers this clone owns.
+	sharedWeights bool
+	privatized    map[LayerRef]bool
+
+	// seqPrefill pins State.Prefill to the seed per-token reference loop;
+	// golden tests and before/after benchmarks flip it.
+	seqPrefill bool
 }
+
+// SetThreads bounds the worker goroutines batched prefill may use for its
+// matmuls (0 restores the GOMAXPROCS default). A campaign running W
+// workers sets each worker clone to GOMAXPROCS/W, min 1.
+func (m *Model) SetThreads(n int) { m.threads = n }
+
+// matmulThreads resolves the effective matmul worker count.
+func (m *Model) matmulThreads() int {
+	if m.threads > 0 {
+		return m.threads
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetSequentialPrefill routes State.Prefill through the seed per-token
+// loop instead of the batched pass. The two are bit-identical (enforced
+// by golden tests); this exists so tests and benchmarks can compare
+// against the reference path.
+func (m *Model) SetSequentialPrefill(on bool) { m.seqPrefill = on }
+
+// SharesWeights reports whether this model is a copy-on-write clone whose
+// parameter storage is shared with its parent.
+func (m *Model) SharesWeights() bool { return m.sharedWeights }
 
 // Hook observes (and may modify in place) the output vector of a linear
 // layer during a decode step. step is the absolute token position being
@@ -143,12 +182,14 @@ func (m *Model) runHooks(ref LayerRef, step int, out []float32) {
 // the original. Rotary tables (immutable) are shared.
 func (m *Model) Clone() *Model {
 	nm := &Model{
-		Cfg:       m.Cfg,
-		Embed:     m.Embed.Clone(),
-		FinalNorm: append([]float32(nil), m.FinalNorm...),
-		LMHead:    m.LMHead.CloneWeight(),
-		ropeCos:   m.ropeCos,
-		ropeSin:   m.ropeSin,
+		Cfg:        m.Cfg,
+		Embed:      m.Embed.Clone(),
+		FinalNorm:  append([]float32(nil), m.FinalNorm...),
+		LMHead:     m.LMHead.CloneWeight(),
+		ropeCos:    m.ropeCos,
+		ropeSin:    m.ropeSin,
+		threads:    m.threads,
+		seqPrefill: m.seqPrefill,
 	}
 	cloneMLP := func(w *MLPWeights) *MLPWeights {
 		if w == nil {
@@ -174,6 +215,56 @@ func (m *Model) Clone() *Model {
 			nb.Router = blk.Router.CloneWeight()
 			for _, ex := range blk.Experts {
 				nb.Experts = append(nb.Experts, cloneMLP(ex))
+			}
+		}
+		nm.Blocks = append(nm.Blocks, nb)
+	}
+	return nm
+}
+
+// CloneShared returns a copy-on-write clone: block and MLP structure is
+// duplicated so weight slots can be swapped per clone, but every weight,
+// the embedding table, and the norm gains are SHARED with the receiver.
+// Hooks are not copied — each clone arms its own faults and mitigations.
+//
+// Sharing is sound because inference treats parameters as read-only:
+// computational faults and mitigations mutate activations through hooks,
+// never weights. The one writer is the memory-fault injector, and
+// LayerForWrite privatizes the single targeted weight before it flips —
+// collapsing per-worker campaign memory from O(model) to O(KV cache).
+func (m *Model) CloneShared() *Model {
+	nm := &Model{
+		Cfg:           m.Cfg,
+		Embed:         m.Embed,
+		FinalNorm:     m.FinalNorm,
+		LMHead:        m.LMHead,
+		ropeCos:       m.ropeCos,
+		ropeSin:       m.ropeSin,
+		threads:       m.threads,
+		seqPrefill:    m.seqPrefill,
+		sharedWeights: true,
+	}
+	shareMLP := func(w *MLPWeights) *MLPWeights {
+		if w == nil {
+			return nil
+		}
+		cp := *w
+		return &cp
+	}
+	for _, blk := range m.Blocks {
+		nb := &Block{
+			AttnNorm: blk.AttnNorm,
+			MLPNorm:  blk.MLPNorm,
+			Wq:       blk.Wq,
+			Wk:       blk.Wk,
+			Wv:       blk.Wv,
+			Wo:       blk.Wo,
+			MLP:      shareMLP(blk.MLP),
+		}
+		if blk.Router != nil {
+			nb.Router = blk.Router
+			for _, ex := range blk.Experts {
+				nb.Experts = append(nb.Experts, shareMLP(ex))
 			}
 		}
 		nm.Blocks = append(nm.Blocks, nb)
@@ -223,8 +314,36 @@ func (m *Model) LinearLayers() []LayerInfo {
 // Layer returns the weight addressed by ref (including KindLMHead), or an
 // error if the address does not exist in this model.
 func (m *Model) Layer(ref LayerRef) (Weight, error) {
+	slot, err := m.layerSlot(ref)
+	if err != nil {
+		return nil, err
+	}
+	return *slot, nil
+}
+
+// LayerForWrite returns the weight addressed by ref for in-place
+// mutation. On a CloneShared model the weight is first privatized — the
+// copy-on-write step — so flips never reach the parent or sibling clones;
+// repeated writes to the same layer reuse the private copy.
+func (m *Model) LayerForWrite(ref LayerRef) (Weight, error) {
+	slot, err := m.layerSlot(ref)
+	if err != nil {
+		return nil, err
+	}
+	if m.sharedWeights && !m.privatized[ref] {
+		*slot = (*slot).CloneWeight()
+		if m.privatized == nil {
+			m.privatized = map[LayerRef]bool{}
+		}
+		m.privatized[ref] = true
+	}
+	return *slot, nil
+}
+
+// layerSlot returns a pointer to the Weight field addressed by ref.
+func (m *Model) layerSlot(ref LayerRef) (*Weight, error) {
 	if ref.Kind == KindLMHead {
-		return m.LMHead, nil
+		return &m.LMHead, nil
 	}
 	if ref.Block < 0 || ref.Block >= len(m.Blocks) {
 		return nil, fmt.Errorf("model: block %d out of range", ref.Block)
@@ -232,18 +351,18 @@ func (m *Model) Layer(ref LayerRef) (Weight, error) {
 	blk := m.Blocks[ref.Block]
 	switch ref.Kind {
 	case KindQ:
-		return blk.Wq, nil
+		return &blk.Wq, nil
 	case KindK:
-		return blk.Wk, nil
+		return &blk.Wk, nil
 	case KindV:
-		return blk.Wv, nil
+		return &blk.Wv, nil
 	case KindOut:
-		return blk.Wo, nil
+		return &blk.Wo, nil
 	case KindRouter:
 		if blk.Router == nil {
 			return nil, fmt.Errorf("model: %v has no router (dense model)", ref)
 		}
-		return blk.Router, nil
+		return &blk.Router, nil
 	case KindGate, KindUp, KindDown:
 		mlp := blk.MLP
 		if ref.Expert >= 0 {
@@ -257,11 +376,11 @@ func (m *Model) Layer(ref LayerRef) (Weight, error) {
 		}
 		switch ref.Kind {
 		case KindGate:
-			return mlp.WGate, nil
+			return &mlp.WGate, nil
 		case KindUp:
-			return mlp.WUp, nil
+			return &mlp.WUp, nil
 		default:
-			return mlp.WDown, nil
+			return &mlp.WDown, nil
 		}
 	default:
 		return nil, fmt.Errorf("model: unknown layer kind %v", ref.Kind)

@@ -5,29 +5,33 @@ import (
 	"sync"
 )
 
-// Parallelism controls how many worker goroutines MatMul may use. It
-// defaults to GOMAXPROCS and can be lowered to make campaign workers
-// cooperate (e.g. one matmul thread per campaign worker).
-var Parallelism = runtime.GOMAXPROCS(0)
-
 // minRowsPerWorker keeps tiny matmuls single-threaded; spawning goroutines
 // for a 1×64 · 64×64 product costs more than the product.
 const minRowsPerWorker = 32
 
-// MatMul computes out = a · b where a is m×k and b is k×n. out must be
-// m×n and distinct from a and b. Work is split across rows of a when the
-// product is large enough and Parallelism > 1.
+// MatMul computes out = a · b with up to GOMAXPROCS worker goroutines.
+// Callers that must bound their CPU share (campaign workers splitting the
+// machine) use MatMulP with an explicit worker count instead; there is no
+// package-global parallelism knob.
+func MatMul(out, a, b *Tensor) {
+	MatMulP(out, a, b, runtime.GOMAXPROCS(0))
+}
+
+// MatMulP computes out = a · b where a is m×k and b is k×n, using at most
+// workers goroutines (values < 1 mean serial). out must be m×n and
+// distinct from a and b. Work is split across rows of a when the product
+// is large enough, so the per-row arithmetic — and therefore the result —
+// is bit-identical for every worker count.
 //
 // The kernel iterates k in the middle loop with b accessed row-wise so the
 // inner loop is a contiguous saxpy — the standard cache-friendly ikj
 // ordering. Accumulation is in float32, matching GPU tensor-core GEMM
 // behaviour closely enough for this study (fault magnitudes dwarf
 // accumulation-order noise).
-func MatMul(out, a, b *Tensor) {
+func MatMulP(out, a, b *Tensor, workers int) {
 	if a.Cols != b.Rows || out.Rows != a.Rows || out.Cols != b.Cols {
 		panic("tensor: MatMul shape mismatch")
 	}
-	workers := Parallelism
 	if workers > 1 && a.Rows >= minRowsPerWorker*2 {
 		parallelRows(a.Rows, workers, func(r0, r1 int) {
 			matmulRows(out, a, b, r0, r1)
@@ -83,8 +87,8 @@ func MatMulT(out, a, b *Tensor) {
 			}
 		}
 	}
-	if Parallelism > 1 && a.Rows >= minRowsPerWorker*2 {
-		parallelRows(a.Rows, Parallelism, body)
+	if workers := runtime.GOMAXPROCS(0); workers > 1 && a.Rows >= minRowsPerWorker*2 {
+		parallelRows(a.Rows, workers, body)
 		return
 	}
 	body(0, a.Rows)

@@ -64,13 +64,12 @@ func TestMatMulParallelMatchesSerial(t *testing.T) {
 	b := randTensor(src, 32, 48)
 	serial := New(200, 48)
 	matmulRows(serial, a, b, 0, 200)
-	parallel := New(200, 48)
-	old := Parallelism
-	Parallelism = 4
-	MatMul(parallel, a, b)
-	Parallelism = old
-	if !Equal(serial, parallel) {
-		t.Fatal("parallel matmul differs from serial")
+	for _, workers := range []int{0, 1, 2, 4, 7} {
+		parallel := New(200, 48)
+		MatMulP(parallel, a, b, workers)
+		if !Equal(serial, parallel) {
+			t.Fatalf("matmul with %d workers differs from serial", workers)
+		}
 	}
 }
 
