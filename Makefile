@@ -22,6 +22,10 @@ race:
 	$(GO) test -race ./...
 
 ## bench: the campaign throughput benchmarks (Figure reproductions live
-## in bench_test.go at the repo root).
+## in bench_test.go at the repo root), plus the machine-readable
+## three-way runtime comparison (seed path vs prefix engine vs
+## streaming runner) written to BENCH_2.json.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
+	BENCH_JSON_OUT=$(CURDIR)/BENCH_2.json $(GO) test -run '^TestEmitBenchJSON$$' -v ./internal/core/
+	@cat $(CURDIR)/BENCH_2.json

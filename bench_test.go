@@ -11,6 +11,7 @@
 package repro
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/experiments"
@@ -27,7 +28,7 @@ func runExperiment(b *testing.B, id string, keys ...string) {
 	}
 	var out *experiments.Outcome
 	for i := 0; i < b.N; i++ {
-		out, err = e.Run(benchCfg)
+		out, err = e.Run(context.Background(), benchCfg)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -3,15 +3,19 @@
 // corresponding artifact plus its headline numbers.
 //
 //	figures -fig fig3 -trials 500 -instances 20
+//	figures -fig table1 -progress
 //	figures -all
 //	figures -list
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"time"
 
 	"repro/internal/experiments"
@@ -27,12 +31,20 @@ func main() {
 	seed := flag.Uint64("seed", 0, "campaign seed (0 = default)")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	dir := flag.String("pretrained", "", "checkpoint directory (default: auto-locate)")
+	progress := flag.Bool("progress", false, "print a live per-campaign progress line to stderr")
 	flag.Parse()
 
 	cfg := experiments.Config{
 		Trials: *trials, Instances: *instances, Seed: *seed,
 		Workers: *workers, Dir: *dir,
 	}
+	if *progress {
+		cfg.Progress = os.Stderr
+	}
+
+	// SIGINT cancels the running experiment's campaigns promptly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	switch {
 	case *list:
@@ -41,24 +53,28 @@ func main() {
 		}
 	case *all:
 		for _, e := range experiments.All() {
-			runOne(e, cfg)
+			runOne(ctx, e, cfg)
 		}
 	case *fig != "":
 		e, err := experiments.Get(*fig)
 		if err != nil {
 			log.Fatal(err)
 		}
-		runOne(e, cfg)
+		runOne(ctx, e, cfg)
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
 }
 
-func runOne(e experiments.Experiment, cfg experiments.Config) {
+func runOne(ctx context.Context, e experiments.Experiment, cfg experiments.Config) {
 	start := time.Now()
-	out, err := e.Run(cfg)
+	out, err := e.Run(ctx, cfg)
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintf(os.Stderr, "figures: %s interrupted\n", e.ID)
+			os.Exit(130)
+		}
 		log.Fatalf("%s: %v", e.ID, err)
 	}
 	fmt.Printf("\n================ %s — %s (%s) ================\n\n", out.ID, e.Title, e.PaperRef)

@@ -7,14 +7,26 @@
 //	llmfi -suite wmt16 -model wmt-alma -fault 2bits-comp -beams 6
 //	llmfi -suite wmt16-like -model moe -fault 2bits-mem -gate-only
 //	llmfi -list
+//
+// Long campaigns are interruptible: with -checkpoint, Ctrl-C stops the
+// pool within one in-flight trial per worker, persists the completed
+// trials, and a later -resume run merges to the bit-identical Result of
+// an uninterrupted campaign.
+//
+//	llmfi -suite wmt16-like -model QwenS -trials 5000 -progress -checkpoint run.ckpt
+//	llmfi -suite wmt16-like -model QwenS -trials 5000 -progress -resume run.ckpt
+//	llmfi -suite gsm8k -model math-qwens -trials 1000 -telemetry tel.json
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
 
 	"repro/internal/core"
@@ -27,6 +39,16 @@ import (
 	"repro/internal/report"
 	"repro/internal/tasks"
 )
+
+const usageExamples = `
+examples:
+  llmfi -suite gsm8k -model math-qwens -fault 2bits-mem -trials 1000
+  llmfi -suite mmlu -model QwenS -fault 1bit-comp -trials 500
+  llmfi -suite wmt16-like -model QwenS -trials 5000 -progress -checkpoint run.ckpt
+  llmfi -suite wmt16-like -model QwenS -trials 5000 -progress -resume run.ckpt
+  llmfi -suite gsm8k -model math-qwens -telemetry tel.json
+  llmfi -list
+`
 
 func main() {
 	log.SetFlags(0)
@@ -42,10 +64,21 @@ func main() {
 		reasoning = flag.Bool("reasoning-only", false, "restrict computational faults to reasoning tokens (math suites)")
 		dtypeName = flag.String("dtype", "", "override datatype for dense models: FP16|FP32|BF16")
 		dir       = flag.String("pretrained", "", "checkpoint directory (default: auto-locate)")
+		workers   = flag.Int("workers", 0, "campaign worker pool size (0 = GOMAXPROCS)")
+		ckptPath  = flag.String("checkpoint", "", "persist completed trials to this file (periodically and on SIGINT)")
+		ckptEvery = flag.Int("checkpoint-every", 64, "completed trials between periodic checkpoint writes")
+		resume    = flag.String("resume", "", "resume from this checkpoint file, skipping completed trials")
+		progress  = flag.Bool("progress", false, "print a live progress line to stderr")
+		telemetry = flag.String("telemetry", "", "write the campaign telemetry snapshot (JSON) to this file")
 		list      = flag.Bool("list", false, "list suites and models")
 		csvTrials = flag.String("csv", "", "write per-trial results to this CSV file")
 		csvSum    = flag.String("csv-summary", "", "write the aggregate summary to this CSV file")
 	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: llmfi [flags]\n\nflags:\n")
+		flag.PrintDefaults()
+		fmt.Fprint(flag.CommandLine.Output(), usageExamples)
+	}
 	flag.Parse()
 
 	if *list {
@@ -75,30 +108,106 @@ func main() {
 		log.Fatal(err)
 	}
 
-	c := core.Campaign{
-		Model: m, Suite: suite, Fault: fm,
-		Trials: *trials, Seed: *seed,
-		Gen:           gen.Settings{NumBeams: *beams},
-		ReasoningOnly: *reasoning,
+	opts := []core.Option{
+		core.WithWorkers(*workers),
+		core.WithGen(gen.Settings{NumBeams: *beams}),
+		core.WithReasoningOnly(*reasoning),
 	}
 	if *gateOnly {
-		c.Filter = faults.GateOnly
+		opts = append(opts, core.WithFilter(faults.GateOnly))
 	}
-	res, err := c.Run()
-	if err != nil {
-		log.Fatal(err)
+	c := core.New(m, suite, fm, *trials, *seed, opts...)
+
+	// SIGINT cancels the campaign; the runner writes a final checkpoint
+	// on the way out, so no completed trial is lost.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	saveTo := *ckptPath
+	if saveTo == "" {
+		saveTo = *resume
 	}
-	printResult(res)
+	tel := core.NewTelemetry()
+	ropts := []core.RunnerOption{
+		core.WithTelemetry(tel),
+		core.WithCheckpointEvery(*ckptEvery),
+	}
+	if saveTo != "" {
+		ropts = append(ropts, core.WithCheckpoint(saveTo))
+	}
+	if *resume != "" {
+		ck, err := core.LoadCheckpoint(*resume)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := ck.Matches(c); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "llmfi: resuming from %s: %d/%d trials already complete\n",
+			*resume, ck.Done(), c.Trials)
+		ropts = append(ropts, core.WithResumeFrom(ck))
+	}
+
+	label := fmt.Sprintf("%s/%s/%v", c.Suite.Name, c.Model.Cfg.Name, c.Fault)
+	var final core.CampaignDone
+	for ev := range core.NewRunner(c, ropts...).Stream(ctx) {
+		switch e := ev.(type) {
+		case core.BaselineReady:
+			if *progress {
+				fmt.Fprintf(os.Stderr, "llmfi: baseline ready (%d instances)\n", len(e.Baseline.Instances))
+			}
+		case core.Progress:
+			if *progress {
+				fmt.Fprintf(os.Stderr, "\r%-100s", report.ProgressLine(label, e))
+			}
+		case core.CampaignDone:
+			final = e
+		}
+	}
+	if *progress {
+		fmt.Fprintf(os.Stderr, "\r%-100s\r", "")
+	}
+
+	if *telemetry != "" {
+		if err := writeTelemetry(*telemetry, tel.Snapshot()); err != nil {
+			log.Print(err)
+		}
+	}
+	if final.Err != nil {
+		if errors.Is(final.Err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "llmfi: interrupted")
+			if saveTo != "" {
+				fmt.Fprintf(os.Stderr, "llmfi: partial results saved; resume with -resume %s\n", saveTo)
+			}
+			os.Exit(130)
+		}
+		log.Fatal(final.Err)
+	}
+
+	printResult(final.Result)
 	if *csvTrials != "" {
-		if err := writeCSV(*csvTrials, res, report.WriteTrialsCSV); err != nil {
+		if err := writeCSV(*csvTrials, final.Result, report.WriteTrialsCSV); err != nil {
 			log.Fatal(err)
 		}
 	}
 	if *csvSum != "" {
-		if err := writeCSV(*csvSum, res, report.WriteSummaryCSV); err != nil {
+		if err := writeCSV(*csvSum, final.Result, report.WriteSummaryCSV); err != nil {
 			log.Fatal(err)
 		}
 	}
+}
+
+// writeTelemetry dumps the telemetry snapshot as JSON to path.
+func writeTelemetry(path string, s core.TelemetrySnapshot) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := report.WriteTelemetryJSON(f, s); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeCSV writes a campaign export to path.

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -34,7 +35,7 @@ func main() {
 			Model: m, Suite: suite, Fault: faults.Comp2Bit,
 			Trials: 120, Seed: 31,
 			Gen: gen.Settings{NumBeams: beams},
-		}.Run()
+		}.Run(context.Background())
 		if err != nil {
 			log.Fatal(err)
 		}

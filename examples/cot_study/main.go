@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -39,7 +40,7 @@ func main() {
 				// The paper injects computational faults only into the
 				// reasoning-token iterations when CoT is on (§4.3.2).
 				ReasoningOnly: mode.cot && fm == faults.Comp2Bit,
-			}.Run()
+			}.Run(context.Background())
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -53,7 +54,7 @@ func main() {
 	res, err := core.Campaign{
 		Model: m, Suite: suite, Fault: faults.Comp2Bit,
 		Trials: 400, Seed: 13, ReasoningOnly: true,
-	}.Run()
+	}.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

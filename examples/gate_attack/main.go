@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -37,7 +38,7 @@ func main() {
 		Model: m, Suite: suite, Fault: faults.Mem2Bit,
 		Trials: 150, Seed: 9,
 		Filter: faults.GateOnly, // routers only — the attack surface
-	}.Run()
+	}.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -38,13 +39,13 @@ func main() {
 		Model: m, Suite: suite, Fault: faults.Mem2Bit,
 		Trials: 200, Seed: 99,
 	}
-	plain, err := base.Run()
+	plain, err := base.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
 	restrictor := mitigate.NewRestrictor(profile)
 	base.ExtraHook = restrictor.Hook
-	protected, err := base.Run()
+	protected, err := base.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,7 +21,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		out, err := e.Run(experiments.Config{})
+		out, err := e.Run(context.Background(), experiments.Config{})
 		if err != nil {
 			log.Fatal(err)
 		}

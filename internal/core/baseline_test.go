@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"testing"
 
 	"repro/internal/faults"
@@ -73,7 +75,7 @@ func TestBeamCampaignRuns(t *testing.T) {
 	res, err := Campaign{
 		Model: m, Suite: suite, Fault: faults.Comp2Bit,
 		Trials: 10, Seed: 4, Gen: gen.Settings{NumBeams: 3},
-	}.Run()
+	}.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +95,7 @@ func TestReasoningOnlyRestrictsIterations(t *testing.T) {
 	res, err := Campaign{
 		Model: m, Suite: suite, Fault: faults.Comp2Bit,
 		Trials: 40, Seed: 5, ReasoningOnly: true,
-	}.Run()
+	}.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +116,7 @@ func TestGateOnlyCampaignOnDenseFails(t *testing.T) {
 	_, err := Campaign{
 		Model: m, Suite: suite, Fault: faults.Mem2Bit,
 		Trials: 4, Seed: 1, Filter: faults.GateOnly,
-	}.Run()
+	}.Run(context.Background())
 	if err == nil {
 		t.Fatal("gate-only on dense model must error")
 	}
@@ -125,13 +127,13 @@ func TestCampaignValidation(t *testing.T) {
 	cfg := model.StandardConfig("v", vocab.Size(), 0)
 	m := model.MustBuild(model.Spec{Config: cfg, Family: model.QwenS, Seed: 3})
 	suite, _ := tasks.NewMCSuite("arc", 1, 2)
-	if _, err := (Campaign{Model: m, Suite: suite, Fault: faults.Mem2Bit}).Run(); err == nil {
+	if _, err := (Campaign{Model: m, Suite: suite, Fault: faults.Mem2Bit}).Run(context.Background()); err == nil {
 		t.Fatal("zero trials should error")
 	}
 	small := cfg
 	small.MaxSeq = 4
 	sm := model.MustBuild(model.Spec{Config: small, Family: model.QwenS, Seed: 3})
-	if _, err := (Campaign{Model: sm, Suite: suite, Fault: faults.Mem2Bit, Trials: 2}).Run(); err == nil {
+	if _, err := (Campaign{Model: sm, Suite: suite, Fault: faults.Mem2Bit, Trials: 2}).Run(context.Background()); err == nil {
 		t.Fatal("context too small should error")
 	}
 }

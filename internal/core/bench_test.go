@@ -1,7 +1,11 @@
 package core
 
 import (
+	"context"
+	"encoding/json"
+	"os"
 	"testing"
+	"time"
 
 	"repro/internal/faults"
 	"repro/internal/metrics"
@@ -10,26 +14,30 @@ import (
 	"repro/internal/tasks"
 )
 
-// benchCampaign measures campaign throughput on a long-prompt generative
-// computational-fault workload — the configuration the prefix-cache
-// engine accelerates. seedPath pins the run to the seed execution path
-// (sequential prefill, deep clones, full re-prefill per trial) so the two
-// benchmarks bracket the engine's speedup.
-func benchCampaign(b *testing.B, seedPath bool) {
+// benchCase builds the benchmark workload: a long-prompt generative
+// computational-fault campaign — the configuration the prefix-cache
+// engine accelerates.
+func benchCase(seedPath bool) Campaign {
 	vocab := tasks.GeneralVocab()
 	cfg := model.StandardConfig("bench", vocab.Size(), numerics.BF16)
 	m := model.MustBuild(model.Spec{Config: cfg, Family: model.QwenS, Seed: 8})
 	suite := tasks.NewSelfRefSuite("bench-prefix", 4, 2, 120, 12, []metrics.Kind{metrics.KindBLEU})
 	c := Campaign{Model: m, Suite: suite, Fault: faults.Comp2Bit, Trials: 32, Seed: 9}
 	if seedPath {
-		c.Model = m.Clone()
-		c.Model.SetSequentialPrefill(true)
-		c.noPrefixReuse = true
-		c.deepClones = true
+		withSeedPath()(&c)
 	}
+	return c
+}
+
+// benchCampaign measures blocking-Run throughput. seedPath pins the run
+// to the seed execution path (sequential prefill, deep clones, full
+// re-prefill per trial) so the two benchmarks bracket the engine's
+// speedup.
+func benchCampaign(b *testing.B, seedPath bool) {
+	c := benchCase(seedPath)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := c.Run()
+		res, err := c.Run(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -42,3 +50,94 @@ func benchCampaign(b *testing.B, seedPath bool) {
 
 func BenchmarkCampaignSeedPath(b *testing.B)     { benchCampaign(b, true) }
 func BenchmarkCampaignPrefixEngine(b *testing.B) { benchCampaign(b, false) }
+
+// BenchmarkCampaignStreamRunner measures the full streaming runtime —
+// event emission, telemetry accounting, per-trial Progress — on the
+// same workload, so the streaming overhead over blocking Run is
+// directly visible (acceptance: <= 5%).
+func BenchmarkCampaignStreamRunner(b *testing.B) {
+	c := benchCase(false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var final CampaignDone
+		for ev := range NewRunner(c).Stream(context.Background()) {
+			if e, ok := ev.(CampaignDone); ok {
+				final = e
+			}
+		}
+		if final.Err != nil {
+			b.Fatal(final.Err)
+		}
+		if len(final.Result.Trials) != c.Trials {
+			b.Fatal("short campaign")
+		}
+	}
+	b.ReportMetric(float64(c.Trials)*float64(b.N)/b.Elapsed().Seconds(), "trials/s")
+}
+
+// TestEmitBenchJSON renders the three-way throughput comparison (seed
+// path vs prefix engine vs streaming runner) as machine-readable JSON.
+// Gated behind BENCH_JSON_OUT so it only runs from `make bench`; it
+// lives here (not in a script) because the seed path is an unexported
+// test knob.
+func TestEmitBenchJSON(t *testing.T) {
+	out := os.Getenv("BENCH_JSON_OUT")
+	if out == "" {
+		t.Skip("set BENCH_JSON_OUT to emit the benchmark JSON")
+	}
+
+	run := func(c Campaign, stream bool) float64 {
+		start := time.Now()
+		if stream {
+			var final CampaignDone
+			for ev := range NewRunner(c).Stream(context.Background()) {
+				if e, ok := ev.(CampaignDone); ok {
+					final = e
+				}
+			}
+			if final.Err != nil {
+				t.Fatal(final.Err)
+			}
+		} else {
+			if _, err := c.Run(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return float64(c.Trials) / time.Since(start).Seconds()
+	}
+
+	// Warm up once so page faults and allocator growth don't skew the
+	// first measured configuration.
+	run(benchCase(false), false)
+
+	seed := run(benchCase(true), false)
+	engine := run(benchCase(false), false)
+	streaming := run(benchCase(false), true)
+
+	report := struct {
+		Workload          string  `json:"workload"`
+		Trials            int     `json:"trials"`
+		SeedPath          float64 `json:"seed_path_trials_per_sec"`
+		Engine            float64 `json:"engine_trials_per_sec"`
+		Streaming         float64 `json:"streaming_trials_per_sec"`
+		EngineSpeedup     float64 `json:"engine_speedup_vs_seed"`
+		StreamingOverhead float64 `json:"streaming_overhead_frac"`
+	}{
+		Workload:          "selfref generative, 120-token prompts, comp-2bit",
+		Trials:            benchCase(false).Trials,
+		SeedPath:          seed,
+		Engine:            engine,
+		Streaming:         streaming,
+		EngineSpeedup:     engine / seed,
+		StreamingOverhead: (engine - streaming) / engine,
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("seed=%.2f engine=%.2f streaming=%.2f trials/s (overhead %.1f%%)",
+		seed, engine, streaming, 100*report.StreamingOverhead)
+}

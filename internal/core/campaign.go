@@ -1,10 +1,8 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"repro/internal/faults"
 	"repro/internal/gen"
@@ -93,20 +91,26 @@ func defaultGen() gen.Settings {
 	return gen.Settings{NumBeams: 1, StopToken: token.EOS, BanSpecials: true}
 }
 
-// Run executes the campaign. Trials are distributed over a worker pool;
-// trial t derives its randomness from Split(t) of the campaign seed, so
-// results are bit-identical for any worker count.
-func (c Campaign) Run() (*Result, error) {
+// validate checks the campaign configuration, wrapping the typed
+// sentinel errors with detail so callers can test with errors.Is.
+func (c Campaign) validate() error {
 	if c.Trials <= 0 {
-		return nil, fmt.Errorf("core: campaign needs Trials > 0")
+		return ErrNoTrials
 	}
 	if len(c.Suite.Instances) == 0 {
-		return nil, fmt.Errorf("core: suite %s has no instances", c.Suite.Name)
+		return fmt.Errorf("%w: suite %s", ErrEmptySuite, c.Suite.Name)
 	}
 	if c.Model.Cfg.MaxSeq < c.Suite.MaxSeqNeeded() {
-		return nil, fmt.Errorf("core: model %s context %d < suite %s need %d",
+		return fmt.Errorf("%w: model %s context %d < suite %s need %d",
+			ErrContextTooSmall,
 			c.Model.Cfg.Name, c.Model.Cfg.MaxSeq, c.Suite.Name, c.Suite.MaxSeqNeeded())
 	}
+	return nil
+}
+
+// effective resolves the zero-value decoding settings and answer
+// checker to the paper defaults.
+func (c Campaign) effective() (gen.Settings, AnswerChecker) {
 	check := c.Check
 	if check == nil {
 		check = DefaultChecker(c.Suite)
@@ -119,89 +123,16 @@ func (c Campaign) Run() (*Result, error) {
 		gs.StopToken = token.EOS
 		gs.BanSpecials = true
 	}
+	return gs, check
+}
 
-	if c.ExtraHook != nil {
-		c.Model.AddHook(c.ExtraHook())
-	}
-	baseline := EvalBaseline(c.Model, c.Suite, gs, check)
-	if c.ExtraHook != nil {
-		c.Model.ClearHooks()
-	}
-
-	workers := c.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > c.Trials {
-		workers = c.Trials
-	}
-
-	// Validate the target filter once up front so configuration errors
-	// surface before any work starts.
-	if _, err := faults.NewSampler(c.Model, c.Filter); err != nil {
-		return nil, err
-	}
-
-	// Split the machine between campaign workers: each worker's matmuls
-	// get an equal share of the cores, so one trial's batched prefill
-	// does not starve the rest of the pool.
-	threadsPer := runtime.GOMAXPROCS(0) / workers
-	if threadsPer < 1 {
-		threadsPer = 1
-	}
-
-	res := &Result{Campaign: c, Baseline: baseline, Trials: make([]Trial, c.Trials)}
-	seedSrc := prng.New(c.Seed ^ 0xca3b417a)
-	// The jobs channel is pre-filled and closed before workers start, so
-	// a worker that stops on an error never strands a blocked producer.
-	jobs := make(chan int, c.Trials)
-	for t := 0; t < c.Trials; t++ {
-		jobs <- t
-	}
-	close(jobs)
-
-	var wg sync.WaitGroup
-	var stop atomic.Bool
-	errs := make(chan error, workers)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			// Workers share the parent's weights copy-on-write: only a
-			// memory-fault target is privatized (at Arm time), so per-worker
-			// memory is the KV cache, not the model.
-			wm := c.Model.CloneShared()
-			if c.deepClones {
-				wm = c.Model.Clone()
-			}
-			wm.SetThreads(threadsPer)
-			sampler, err := faults.NewSampler(wm, c.Filter)
-			if err != nil {
-				errs <- err
-				stop.Store(true)
-				return
-			}
-			for t := range jobs {
-				if stop.Load() {
-					return
-				}
-				trial, err := c.runTrial(wm, sampler, seedSrc.Split(uint64(t)), t, baseline, gs, check)
-				if err != nil {
-					errs <- err
-					stop.Store(true)
-					return
-				}
-				res.Trials[t] = trial
-			}
-		}()
-	}
-	wg.Wait()
-	select {
-	case err := <-errs:
-		return nil, err
-	default:
-	}
-	return res, nil
+// Run executes the campaign to completion, honoring ctx cancellation.
+// Trials are distributed over a worker pool; trial t derives its
+// randomness from Split(t) of the campaign seed, so results are
+// bit-identical for any worker count. For the event stream, checkpoint
+// persistence, and telemetry, use NewRunner directly.
+func (c Campaign) Run(ctx context.Context) (*Result, error) {
+	return NewRunner(c).Run(ctx)
 }
 
 // runTrial performs one injection on the worker's model clone.
@@ -220,7 +151,7 @@ func (c Campaign) runTrial(wm *model.Model, sampler *faults.Sampler, src *prng.S
 
 	inj, err := faults.Arm(wm, site, promptLen)
 	if err != nil {
-		return Trial{}, err
+		return Trial{}, &TrialError{Index: t, Site: site, Err: err}
 	}
 	if c.ExtraHook != nil {
 		// Mitigations observe values after the fault hook mutated them.

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"testing"
 
 	"repro/internal/faults"
@@ -31,7 +33,7 @@ func TestMCCampaignSmoke(t *testing.T) {
 	}
 	for _, fm := range faults.Models {
 		c := Campaign{Model: m, Suite: suite, Fault: fm, Trials: 24, Seed: 99}
-		res, err := c.Run()
+		res, err := c.Run(context.Background())
 		if err != nil {
 			t.Fatalf("%v: %v", fm, err)
 		}
@@ -54,7 +56,7 @@ func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
 	}
 	run := func(workers int) []Trial {
 		c := Campaign{Model: m, Suite: suite, Fault: faults.Mem2Bit, Trials: 16, Seed: 5, Workers: workers}
-		res, err := c.Run()
+		res, err := c.Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -78,7 +80,7 @@ func TestGenerativeCampaignWithTrainedModel(t *testing.T) {
 	mt := pretrained.MathTask()
 	suite := mt.Suite(3, 6, true)
 	c := Campaign{Model: m, Suite: suite, Fault: faults.Mem2Bit, Trials: 30, Seed: 17}
-	res, err := c.Run()
+	res, err := c.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

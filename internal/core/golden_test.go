@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"reflect"
 	"testing"
 
@@ -34,7 +36,7 @@ func seedEquivalent(t *testing.T, c Campaign) {
 	t.Helper()
 
 	engine := c
-	engRes, err := engine.Run()
+	engRes, err := engine.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +46,7 @@ func seedEquivalent(t *testing.T, c Campaign) {
 	seed.Model.SetSequentialPrefill(true)
 	seed.noPrefixReuse = true
 	seed.deepClones = true
-	seedRes, err := seed.Run()
+	seedRes, err := seed.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"math"
 	"testing"
 
@@ -216,7 +218,7 @@ func TestExtraHookInstalledForBaselineAndTrials(t *testing.T) {
 			return func(model.LayerRef, int, []float32) {}
 		},
 	}
-	if _, err := c.Run(); err != nil {
+	if _, err := c.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	// One install for the baseline + one per trial.

@@ -1,0 +1,348 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/model"
+	"repro/internal/prng"
+)
+
+// Runner executes a Campaign with the full production runtime:
+// cancellation via context, a typed live event stream, periodic
+// checkpointing with bit-identical resume, and a telemetry registry.
+//
+//	r := core.NewRunner(c, core.WithCheckpoint("run.ckpt"))
+//	for ev := range r.Stream(ctx) { ... }
+//
+// Resume soundness: trial t derives all of its randomness from Split(t)
+// of the campaign seed and runs against the (deterministic) fault-free
+// baseline, so a trial's outcome is a pure function of (campaign
+// fingerprint, t). Skipping checkpointed indices and running the rest
+// therefore yields a Result bit-identical to an uninterrupted run.
+type Runner struct {
+	c Campaign
+
+	ckptPath  string
+	ckptEvery int
+	resume    *Checkpoint
+	tel       *Telemetry
+	progEvery int
+}
+
+// RunnerOption configures a Runner.
+type RunnerOption func(*Runner)
+
+// WithCheckpoint makes the runner persist completed trials to path —
+// every checkpoint interval, and finally when the campaign completes,
+// errors, or is cancelled (the SIGINT path).
+func WithCheckpoint(path string) RunnerOption {
+	return func(r *Runner) { r.ckptPath = path }
+}
+
+// WithCheckpointEvery sets the number of completed trials between
+// periodic checkpoint writes (default 64).
+func WithCheckpointEvery(n int) RunnerOption {
+	return func(r *Runner) { r.ckptEvery = n }
+}
+
+// WithResumeFrom seeds the runner with a previously saved checkpoint;
+// its completed trial indices are skipped. The checkpoint fingerprint
+// must match the campaign.
+func WithResumeFrom(ck *Checkpoint) RunnerOption {
+	return func(r *Runner) { r.resume = ck }
+}
+
+// WithTelemetry supplies an external telemetry registry so callers can
+// snapshot it during or after the run.
+func WithTelemetry(t *Telemetry) RunnerOption {
+	return func(r *Runner) { r.tel = t }
+}
+
+// WithProgressEvery sets how many completed trials separate Progress
+// events (default 1: one per trial).
+func WithProgressEvery(n int) RunnerOption {
+	return func(r *Runner) { r.progEvery = n }
+}
+
+// NewRunner wraps a Campaign in the streaming runtime.
+func NewRunner(c Campaign, opts ...RunnerOption) *Runner {
+	r := &Runner{c: c, ckptEvery: 64, progEvery: 1}
+	for _, opt := range opts {
+		opt(r)
+	}
+	if r.tel == nil {
+		r.tel = NewTelemetry()
+	}
+	if r.ckptEvery <= 0 {
+		r.ckptEvery = 64
+	}
+	if r.progEvery <= 0 {
+		r.progEvery = 1
+	}
+	return r
+}
+
+// Telemetry returns the runner's metrics registry.
+func (r *Runner) Telemetry() *Telemetry { return r.tel }
+
+// Run executes the campaign to completion, blocking without an event
+// stream. Cancelling ctx stops the pool within one trial per worker and
+// returns ctx.Err(); with a checkpoint configured, a final checkpoint
+// is written before returning.
+func (r *Runner) Run(ctx context.Context) (*Result, error) {
+	return r.run(ctx, nil)
+}
+
+// Stream starts the campaign and returns its event channel. The stream
+// must be drained until close (the terminal CampaignDone event carries
+// the Result or error); abandoning it mid-stream blocks the runner.
+func (r *Runner) Stream(ctx context.Context) <-chan Event {
+	events := make(chan Event, 128)
+	go func() {
+		defer close(events)
+		res, err := r.run(ctx, func(ev Event) { events <- ev })
+		events <- CampaignDone{Result: res, Err: err}
+	}()
+	return events
+}
+
+// Resume loads the checkpoint at path, verifies it against the
+// campaign, and runs the remaining trials. The merged Result is
+// bit-identical to an uninterrupted run. Subsequent checkpoints are
+// written back to the same path unless WithCheckpoint chose another.
+func (r *Runner) Resume(ctx context.Context, path string) (*Result, error) {
+	ck, err := LoadCheckpoint(path)
+	if err != nil {
+		return nil, err
+	}
+	r.resume = ck
+	if r.ckptPath == "" {
+		r.ckptPath = path
+	}
+	return r.Run(ctx)
+}
+
+// trialResult carries one worker's completed trial (or failure) to the
+// collector.
+type trialResult struct {
+	index  int
+	worker int
+	trial  Trial
+	busy   time.Duration
+	err    error
+}
+
+// run is the campaign runtime shared by Run and Stream. emit may be
+// nil (blocking mode).
+func (r *Runner) run(ctx context.Context, emit func(Event)) (*Result, error) {
+	if emit == nil {
+		emit = func(Event) {}
+	}
+	c := r.c
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	gs, check := c.effective()
+
+	// Validate the target filter once up front so configuration errors
+	// surface before any work starts.
+	if _, err := faults.NewSampler(c.Model, c.Filter); err != nil {
+		return nil, err
+	}
+	if r.resume != nil {
+		if err := r.resume.Matches(c); err != nil {
+			return nil, err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Route ExtraHook installations through the telemetry counter; the
+	// wrapper forwards values untouched, so mitigation behavior (and
+	// golden equivalence) is unchanged.
+	if c.ExtraHook != nil {
+		orig := c.ExtraHook
+		tel := r.tel
+		c.ExtraHook = func() model.Hook {
+			h := orig()
+			return func(ref model.LayerRef, step int, out []float32) {
+				tel.hookFired()
+				h(ref, step, out)
+			}
+		}
+	}
+
+	if c.ExtraHook != nil {
+		c.Model.AddHook(c.ExtraHook())
+	}
+	baseline := EvalBaseline(c.Model, c.Suite, gs, check)
+	if c.ExtraHook != nil {
+		c.Model.ClearHooks()
+	}
+	emit(BaselineReady{Baseline: baseline})
+
+	res := &Result{Campaign: c, Baseline: baseline, Trials: make([]Trial, c.Trials)}
+	completed := make([]bool, c.Trials)
+	done := 0
+	if r.resume != nil {
+		for i, t := range r.resume.Indices {
+			if t < 0 || t >= c.Trials || completed[t] {
+				continue
+			}
+			res.Trials[t] = r.resume.Trials[i]
+			completed[t] = true
+			done++
+		}
+	}
+	pending := make([]int, 0, c.Trials-done)
+	for t := 0; t < c.Trials; t++ {
+		if !completed[t] {
+			pending = append(pending, t)
+		}
+	}
+
+	workers := c.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+	r.tel.begin(c.Trials, workers)
+
+	if len(pending) == 0 {
+		// Fully-resumed campaign: nothing to execute.
+		emit(r.tel.progress(done, c.Trials))
+		if r.ckptPath != "" {
+			if err := r.checkpoint(res, completed); err != nil {
+				return nil, err
+			}
+		}
+		return res, ctx.Err()
+	}
+
+	// Split the machine between campaign workers: each worker's matmuls
+	// get an equal share of the cores, so one trial's batched prefill
+	// does not starve the rest of the pool.
+	threadsPer := runtime.GOMAXPROCS(0) / workers
+	if threadsPer < 1 {
+		threadsPer = 1
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	seedSrc := prng.New(c.Seed ^ 0xca3b417a)
+	// The jobs channel is pre-filled and closed before workers start, so
+	// a worker that stops early never strands a blocked producer.
+	jobs := make(chan int, len(pending))
+	for _, t := range pending {
+		jobs <- t
+	}
+	close(jobs)
+
+	results := make(chan trialResult, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			// Workers share the parent's weights copy-on-write: only a
+			// memory-fault target is privatized (at Arm time), so per-worker
+			// memory is the KV cache, not the model.
+			wm := c.Model.CloneShared()
+			if c.deepClones {
+				wm = c.Model.Clone()
+			}
+			wm.SetThreads(threadsPer)
+			sampler, err := faults.NewSampler(wm, c.Filter)
+			if err != nil {
+				results <- trialResult{index: -1, worker: worker, err: err}
+				cancel()
+				return
+			}
+			for t := range jobs {
+				if runCtx.Err() != nil {
+					return
+				}
+				start := time.Now()
+				trial, err := c.runTrial(wm, sampler, seedSrc.Split(uint64(t)), t, baseline, gs, check)
+				if err != nil {
+					// First failure cancels the pool; the collector
+					// surfaces it through the event stream immediately.
+					results <- trialResult{index: t, worker: worker, err: err}
+					cancel()
+					return
+				}
+				results <- trialResult{index: t, worker: worker, trial: trial, busy: time.Since(start)}
+			}
+		}(w)
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Collector: the single writer of res.Trials, telemetry, events, and
+	// checkpoints.
+	var firstErr error
+	sinceCkpt := 0
+	for tr := range results {
+		if tr.err != nil {
+			if firstErr == nil {
+				firstErr = tr.err
+			}
+			continue
+		}
+		res.Trials[tr.index] = tr.trial
+		completed[tr.index] = true
+		done++
+		sinceCkpt++
+		r.tel.record(tr.worker, tr.trial, tr.busy)
+		emit(TrialDone{Index: tr.index, Worker: tr.worker, Trial: tr.trial})
+		if done%r.progEvery == 0 || done == c.Trials {
+			emit(r.tel.progress(done, c.Trials))
+		}
+		if r.ckptPath != "" && sinceCkpt >= r.ckptEvery {
+			if err := r.checkpoint(res, completed); err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				cancel()
+			}
+			sinceCkpt = 0
+		}
+	}
+
+	// Final checkpoint: on completion, on error, and on cancellation
+	// (the SIGINT path), so no completed work is ever lost.
+	if r.ckptPath != "" {
+		if err := r.checkpoint(res, completed); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// checkpoint persists the completed trials.
+func (r *Runner) checkpoint(res *Result, completed []bool) error {
+	ck := &Checkpoint{Fingerprint: r.c.Fingerprint()}
+	for t, ok := range completed {
+		if ok {
+			ck.Indices = append(ck.Indices, t)
+			ck.Trials = append(ck.Trials, res.Trials[t])
+		}
+	}
+	return ck.Save(r.ckptPath)
+}

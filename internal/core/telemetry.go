@@ -1,0 +1,146 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/outcome"
+)
+
+// Telemetry is a lightweight per-campaign metrics registry: the Runner
+// feeds it as trials complete, and Snapshot renders the current state
+// for progress lines and the JSON dump (report.WriteTelemetryJSON).
+// All methods are safe for concurrent use.
+type Telemetry struct {
+	// hookFires counts forward-hook invocations of the campaign's
+	// ExtraHook (mitigation) slot — atomic because hooks fire on every
+	// layer of every token across all workers.
+	hookFires atomic.Int64
+
+	mu      sync.Mutex
+	start   time.Time
+	total   int
+	done    int
+	fired   int
+	tally   outcome.Tally
+	workers []workerStat
+}
+
+type workerStat struct {
+	trials int
+	busy   time.Duration
+}
+
+// NewTelemetry returns an empty registry. The Runner creates one
+// automatically; supply a shared instance with WithTelemetry to read it
+// after (or during) a run.
+func NewTelemetry() *Telemetry { return &Telemetry{} }
+
+// begin resets the registry for a campaign of total trials over the
+// given worker-pool size and starts the throughput clock.
+func (t *Telemetry) begin(total, workers int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.start = time.Now()
+	t.total = total
+	t.done = 0
+	t.fired = 0
+	t.tally = outcome.Tally{}
+	t.workers = make([]workerStat, workers)
+	t.hookFires.Store(0)
+}
+
+// record accounts one completed trial to the given worker.
+func (t *Telemetry) record(worker int, tr Trial, busy time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.done++
+	if tr.Fired {
+		t.fired++
+	}
+	t.tally.Add(tr.Outcome)
+	if worker >= 0 && worker < len(t.workers) {
+		t.workers[worker].trials++
+		t.workers[worker].busy += busy
+	}
+}
+
+// hookFired counts one ExtraHook invocation.
+func (t *Telemetry) hookFired() { t.hookFires.Add(1) }
+
+// WorkerSnapshot is one worker's share of the campaign.
+type WorkerSnapshot struct {
+	// Trials the worker completed.
+	Trials int `json:"trials"`
+	// BusySeconds the worker spent inside trials.
+	BusySeconds float64 `json:"busy_seconds"`
+	// Utilization is busy time over the campaign's wall time so far.
+	Utilization float64 `json:"utilization"`
+}
+
+// TelemetrySnapshot is a point-in-time rendering of the registry.
+type TelemetrySnapshot struct {
+	ElapsedSeconds float64          `json:"elapsed_seconds"`
+	TotalTrials    int              `json:"total_trials"`
+	DoneTrials     int              `json:"done_trials"`
+	TrialsPerSec   float64          `json:"trials_per_sec"`
+	Fired          int              `json:"fired"`
+	FiredRate      float64          `json:"fired_rate"`
+	Masked         int              `json:"masked"`
+	Subtle         int              `json:"sdc_subtle"`
+	Distorted      int              `json:"sdc_distorted"`
+	HookFires      int64            `json:"hook_fires"`
+	Workers        []WorkerSnapshot `json:"workers"`
+}
+
+// Snapshot renders the current state. Done/throughput count only trials
+// executed by this run — trials restored from a resume checkpoint are
+// not re-counted as work.
+func (t *Telemetry) Snapshot() TelemetrySnapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	elapsed := time.Duration(0)
+	if !t.start.IsZero() {
+		elapsed = time.Since(t.start)
+	}
+	s := TelemetrySnapshot{
+		ElapsedSeconds: elapsed.Seconds(),
+		TotalTrials:    t.total,
+		DoneTrials:     t.done,
+		Fired:          t.fired,
+		Masked:         t.tally.Masked,
+		Subtle:         t.tally.Subtle,
+		Distorted:      t.tally.Distorted,
+		HookFires:      t.hookFires.Load(),
+	}
+	if elapsed > 0 {
+		s.TrialsPerSec = float64(t.done) / elapsed.Seconds()
+	}
+	if t.done > 0 {
+		s.FiredRate = float64(t.fired) / float64(t.done)
+	}
+	for _, w := range t.workers {
+		ws := WorkerSnapshot{Trials: w.trials, BusySeconds: w.busy.Seconds()}
+		if elapsed > 0 {
+			ws.Utilization = w.busy.Seconds() / elapsed.Seconds()
+		}
+		s.Workers = append(s.Workers, ws)
+	}
+	return s
+}
+
+// progress renders the registry as a Progress event with the overall
+// done count (which may exceed this run's executed-trial count after a
+// resume).
+func (t *Telemetry) progress(done, total int) Progress {
+	s := t.Snapshot()
+	return Progress{
+		Done:         done,
+		Total:        total,
+		TrialsPerSec: s.TrialsPerSec,
+		Fired:        s.Fired,
+		Tally:        outcome.Tally{Masked: s.Masked, Subtle: s.Subtle, Distorted: s.Distorted},
+		Elapsed:      time.Duration(s.ElapsedSeconds * float64(time.Second)),
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -41,7 +42,7 @@ func (c cleanMathTask) CorruptInputs(_ *prng.Source, inputs []int, _ int) []int 
 // behind Observation #10: a model that has never seen a corrupted chain
 // trusts its own (possibly faulty) intermediate tokens and loses the CoT
 // advantage; denoising training restores it.
-func runAbl3(cfg Config) (*Outcome, error) {
+func runAbl3(ctx context.Context, cfg Config) (*Outcome, error) {
 	cfg = cfg.withDefaults()
 	o := newOutcome("abl3", "CoT denoising-training ablation")
 
@@ -78,7 +79,7 @@ func runAbl3(cfg Config) (*Outcome, error) {
 					Trials: cfg.Trials, Seed: cfg.Seed ^ hash2("abl3", v.label, fm.String(), fmt.Sprint(cot)),
 					ReasoningOnly: cot && fm == faults.Comp2Bit,
 					Workers:       cfg.Workers,
-				}.Run()
+				}.Run(ctx)
 				if err != nil {
 					return nil, err
 				}

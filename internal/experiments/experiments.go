@@ -6,11 +6,15 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"io"
 	"sort"
 	"sync"
 
+	"repro/internal/core"
 	"repro/internal/pretrained"
+	"repro/internal/report"
 )
 
 // Config scales an experiment run. Zero fields take defaults.
@@ -26,6 +30,10 @@ type Config struct {
 	Workers   int
 	// Dir is the pretrained-checkpoint directory ("" = auto-locate).
 	Dir string
+	// Progress, when non-nil, receives a live single-line status update
+	// (overwritten in place) for each long-running campaign. cmd/figures
+	// wires stderr here behind -progress.
+	Progress io.Writer
 }
 
 func (c Config) withDefaults() Config {
@@ -47,6 +55,27 @@ func (c Config) withDefaults() Config {
 // loader returns the checkpoint loader for the config.
 func (c Config) loader() *pretrained.Loader {
 	return pretrained.NewLoader(c.Dir)
+}
+
+// campaign executes one fault-injection campaign on behalf of an
+// experiment: blocking when no progress sink is configured, otherwise
+// through the streaming runner with a live status line labelled after
+// the campaign.
+func (c Config) campaign(ctx context.Context, label string, camp core.Campaign) (*core.Result, error) {
+	if c.Progress == nil {
+		return camp.Run(ctx)
+	}
+	var final core.CampaignDone
+	for ev := range core.NewRunner(camp).Stream(ctx) {
+		switch e := ev.(type) {
+		case core.Progress:
+			fmt.Fprintf(c.Progress, "\r%-100s", report.ProgressLine(label, e))
+		case core.CampaignDone:
+			final = e
+		}
+	}
+	fmt.Fprintf(c.Progress, "\r%-100s\r", "")
+	return final.Result, final.Err
 }
 
 // Outcome is a completed experiment.
@@ -74,12 +103,13 @@ func (o *Outcome) set(name string, v float64) {
 	o.Numbers[key] = v
 }
 
-// Experiment binds a paper artifact to its reproduction.
+// Experiment binds a paper artifact to its reproduction. Run honors
+// ctx cancellation: an interrupted experiment returns ctx.Err().
 type Experiment struct {
 	ID       string // "table1", "fig3", ...
 	Title    string
 	PaperRef string // section / observation reference
-	Run      func(Config) (*Outcome, error)
+	Run      func(context.Context, Config) (*Outcome, error)
 }
 
 var (
@@ -109,6 +139,15 @@ func Get(id string) (Experiment, error) {
 		return Experiment{}, fmt.Errorf("experiments: unknown id %q (have %v)", id, ids)
 	}
 	return e, nil
+}
+
+// Run looks up and executes one experiment under ctx.
+func Run(ctx context.Context, id string, cfg Config) (*Outcome, error) {
+	e, err := Get(id)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(ctx, cfg)
 }
 
 // All returns every experiment in registration (paper) order.

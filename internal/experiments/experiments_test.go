@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -43,7 +44,7 @@ func TestTable2Static(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := e.Run(tinyCfg)
+	out, err := e.Run(context.Background(), tinyCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +60,7 @@ func TestTable2Static(t *testing.T) {
 
 func TestFig13Shapes(t *testing.T) {
 	e, _ := Get("fig13")
-	out, err := e.Run(tinyCfg)
+	out, err := e.Run(context.Background(), tinyCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +73,7 @@ func TestFig13Shapes(t *testing.T) {
 
 func TestFig5ColumnPropagation(t *testing.T) {
 	e, _ := Get("fig5")
-	out, err := e.Run(tinyCfg)
+	out, err := e.Run(context.Background(), tinyCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestFig5ColumnPropagation(t *testing.T) {
 
 func TestFig6RowContainment(t *testing.T) {
 	e, _ := Get("fig6")
-	out, err := e.Run(tinyCfg)
+	out, err := e.Run(context.Background(), tinyCfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -47,7 +48,7 @@ func init() {
 	})
 }
 
-func runExt1(cfg Config) (*Outcome, error) {
+func runExt1(ctx context.Context, cfg Config) (*Outcome, error) {
 	cfg = cfg.withDefaults()
 	o := newOutcome("ext1", "Range restriction")
 	m, err := cfg.loader().Load("math-qwens")
@@ -68,13 +69,13 @@ func runExt1(cfg Config) (*Outcome, error) {
 			Trials: cfg.Trials, Seed: cfg.Seed ^ hash2("ext1", fm.String()),
 			Workers: cfg.Workers,
 		}
-		resPlain, err := base.Run()
+		resPlain, err := base.Run(ctx)
 		if err != nil {
 			return nil, err
 		}
 		restrictor := mitigate.NewRestrictor(profile)
 		base.ExtraHook = restrictor.Hook
-		resProt, err := base.Run()
+		resProt, err := base.Run(ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -96,7 +97,7 @@ func runExt1(cfg Config) (*Outcome, error) {
 	return o, nil
 }
 
-func runExt2(cfg Config) (*Outcome, error) {
+func runExt2(ctx context.Context, cfg Config) (*Outcome, error) {
 	cfg = cfg.withDefaults()
 	o := newOutcome("ext2", "ABFT weight-checksum detection")
 	m, err := cfg.loader().Load("wmt-qwens")
@@ -117,6 +118,10 @@ func runExt2(cfg Config) (*Outcome, error) {
 	detected, localized := 0, 0
 	trials := cfg.Trials
 	for i := 0; i < trials; i++ {
+		// The checksum sweep runs outside a campaign, so honor ctx here.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		site := sampler.Sample(src.Split(uint64(i)), faults.Mem2Bit, 1)
 		inj, err := faults.Arm(wm, site, 0)
 		if err != nil {
@@ -147,7 +152,7 @@ func runExt2(cfg Config) (*Outcome, error) {
 	return o, nil
 }
 
-func runAbl1(cfg Config) (*Outcome, error) {
+func runAbl1(ctx context.Context, cfg Config) (*Outcome, error) {
 	cfg = cfg.withDefaults()
 	o := newOutcome("abl1", "Sampling-weighting ablation")
 	_, moe, err := moeModels(cfg)
@@ -164,7 +169,7 @@ func runAbl1(cfg Config) (*Outcome, error) {
 		Model: moe, Suite: mmlu, Fault: faults.Mem2Bit,
 		Trials: cfg.Trials, Seed: cfg.Seed ^ hash2("abl1", "type"),
 		Workers: cfg.Workers,
-	}.Run()
+	}.Run(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -181,7 +186,7 @@ func runAbl1(cfg Config) (*Outcome, error) {
 		Model: moe, Suite: mmlu, Fault: faults.Mem2Bit,
 		Trials: cfg.Trials, Seed: cfg.Seed ^ hash2("abl1", "exp"),
 		Filter: expertOnly, Workers: cfg.Workers,
-	}.Run()
+	}.Run(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -189,7 +194,7 @@ func runAbl1(cfg Config) (*Outcome, error) {
 		Model: moe, Suite: mmlu, Fault: faults.Mem2Bit,
 		Trials: cfg.Trials, Seed: cfg.Seed ^ hash2("abl1", "non"),
 		Filter: nonExpert, Workers: cfg.Workers,
-	}.Run()
+	}.Run(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -213,7 +218,7 @@ func runAbl1(cfg Config) (*Outcome, error) {
 	return o, nil
 }
 
-func runAbl2(cfg Config) (*Outcome, error) {
+func runAbl2(ctx context.Context, cfg Config) (*Outcome, error) {
 	cfg = cfg.withDefaults()
 	o := newOutcome("abl2", "Distortion-threshold sensitivity")
 	m, err := cfg.loader().Load("math-qwens")
@@ -231,7 +236,7 @@ func runAbl2(cfg Config) (*Outcome, error) {
 			Model: m, Suite: suite, Fault: faults.Mem2Bit,
 			Trials: cfg.Trials, Seed: cfg.Seed ^ hash2("abl2"), // same faults each row
 			Thresholds: th, Workers: cfg.Workers,
-		}.Run()
+		}.Run(ctx)
 		if err != nil {
 			return nil, err
 		}

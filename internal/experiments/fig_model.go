@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -49,7 +50,7 @@ func init() {
 	})
 }
 
-func runFig13(cfg Config) (*Outcome, error) {
+func runFig13(ctx context.Context, cfg Config) (*Outcome, error) {
 	cfg = cfg.withDefaults()
 	o := newOutcome("fig13", "Weight/neuron distributions (down_proj, last block)")
 	profs, err := mcModels(cfg)
@@ -140,7 +141,7 @@ func moeModels(cfg Config) (dense, moe *model.Model, err error) {
 	return dense, moe, nil
 }
 
-func runFig14(cfg Config) (*Outcome, error) {
+func runFig14(ctx context.Context, cfg Config) (*Outcome, error) {
 	cfg = cfg.withDefaults()
 	o := newOutcome("fig14", "MoE vs dense resilience")
 	dense, moe, err := moeModels(cfg)
@@ -166,7 +167,7 @@ func runFig14(cfg Config) (*Outcome, error) {
 				Model: m, Suite: suite, Fault: faults.Mem2Bit,
 				Trials: cfg.Trials, Seed: cfg.Seed ^ hash2("fig14", suite.Name, fmt.Sprint(i)),
 				Workers: cfg.Workers,
-			}.Run()
+			}.Run(ctx)
 			if err != nil {
 				return nil, err
 			}
@@ -186,7 +187,7 @@ func runFig14(cfg Config) (*Outcome, error) {
 	return o, nil
 }
 
-func runFig15(cfg Config) (*Outcome, error) {
+func runFig15(ctx context.Context, cfg Config) (*Outcome, error) {
 	cfg = cfg.withDefaults()
 	o := newOutcome("fig15", "Gate-layer faults")
 	_, moe, err := moeModels(cfg)
@@ -198,7 +199,7 @@ func runFig15(cfg Config) (*Outcome, error) {
 		Model: moe, Suite: trans, Fault: faults.Mem2Bit,
 		Trials: cfg.Trials, Seed: cfg.Seed ^ hash2("fig15"),
 		Filter: faults.GateOnly, Workers: cfg.Workers,
-	}.Run()
+	}.Run(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -235,7 +236,7 @@ func runFig15(cfg Config) (*Outcome, error) {
 	return o, nil
 }
 
-func runFig16(cfg Config) (*Outcome, error) {
+func runFig16(ctx context.Context, cfg Config) (*Outcome, error) {
 	cfg = cfg.withDefaults()
 	o := newOutcome("fig16", "Resilience across model scales")
 	vocab := tasks.GeneralVocab()
@@ -272,7 +273,7 @@ func runFig16(cfg Config) (*Outcome, error) {
 				Model: m, Suite: run.suite, Fault: run.fm,
 				Trials: cfg.Trials, Seed: cfg.Seed ^ hash2("fig16", sc.label, run.fm.String()),
 				Workers: cfg.Workers,
-			}.Run()
+			}.Run(ctx)
 			if err != nil {
 				return nil, err
 			}
@@ -296,7 +297,7 @@ func runFig16(cfg Config) (*Outcome, error) {
 	return o, nil
 }
 
-func runFig17(cfg Config) (*Outcome, error) {
+func runFig17(ctx context.Context, cfg Config) (*Outcome, error) {
 	cfg = cfg.withDefaults()
 	o := newOutcome("fig17", "Quantized-model resilience")
 	m, err := cfg.loader().Load("wmt-qwens")
@@ -323,7 +324,7 @@ func runFig17(cfg Config) (*Outcome, error) {
 			Model: vm, Suite: suite, Fault: faults.Mem2Bit,
 			Trials: cfg.Trials, Seed: cfg.Seed ^ hash2("fig17", v.label),
 			Workers: cfg.Workers,
-		}.Run()
+		}.Run(ctx)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -30,7 +31,7 @@ var (
 
 // overallGrid runs (or returns the cached) full characterization grid:
 // every suite × its Table 1 models × all three fault models.
-func overallGrid(cfg Config) ([]gridRow, error) {
+func overallGrid(ctx context.Context, cfg Config) ([]gridRow, error) {
 	key := fmt.Sprintf("%d/%d/%d", cfg.Trials, cfg.Instances, cfg.Seed)
 	gridMu.Lock()
 	if rows, ok := gridCache[key]; ok {
@@ -53,11 +54,12 @@ func overallGrid(cfg Config) ([]gridRow, error) {
 	for _, suite := range suites {
 		for _, fam := range model.Families {
 			for _, fm := range faults.Models {
-				res, err := core.Campaign{
+				label := fmt.Sprintf("grid %s/%s/%s", suite.Name, fam, fm)
+				res, err := cfg.campaign(ctx, label, core.Campaign{
 					Model: profs[fam], Suite: suite, Fault: fm,
 					Trials: cfg.Trials, Seed: cfg.Seed ^ hash2(suite.Name, fam.String(), fm.String()),
 					Workers: cfg.Workers,
-				}.Run()
+				})
 				if err != nil {
 					return nil, err
 				}
@@ -78,11 +80,12 @@ func overallGrid(cfg Config) ([]gridRow, error) {
 		suite := genSuites[sname]
 		for _, nm := range genModels[sname] {
 			for _, fm := range faults.Models {
-				res, err := core.Campaign{
+				label := fmt.Sprintf("grid %s/%s/%s", sname, nm.Display, fm)
+				res, err := cfg.campaign(ctx, label, core.Campaign{
 					Model: nm.Model, Suite: suite, Fault: fm,
 					Trials: cfg.Trials, Seed: cfg.Seed ^ hash2(sname, nm.Display, fm.String()),
 					Workers: cfg.Workers,
-				}.Run()
+				})
 				if err != nil {
 					return nil, err
 				}
@@ -159,7 +162,7 @@ func init() {
 	})
 }
 
-func runTable1(cfg Config) (*Outcome, error) {
+func runTable1(ctx context.Context, cfg Config) (*Outcome, error) {
 	cfg = cfg.withDefaults()
 	o := newOutcome("table1", "Selected LLM workloads and metrics")
 	t := report.NewTable("Task", "Dataset (surrogate)", "Type", "Metrics", "Models")
@@ -206,7 +209,7 @@ func kindList(s *tasks.Suite) string {
 	return out
 }
 
-func runTable2(cfg Config) (*Outcome, error) {
+func runTable2(ctx context.Context, cfg Config) (*Outcome, error) {
 	o := newOutcome("table2", "Format of floating-point data types")
 	t := report.NewTable("Format", "Total Bits", "Exp Bits", "Mantissa Bits", "Max Finite", "Smallest Normal")
 	for _, dt := range []numerics.DType{numerics.FP16, numerics.FP32, numerics.BF16} {
@@ -218,9 +221,9 @@ func runTable2(cfg Config) (*Outcome, error) {
 	return o, nil
 }
 
-func runFig3(cfg Config) (*Outcome, error) {
+func runFig3(ctx context.Context, cfg Config) (*Outcome, error) {
 	cfg = cfg.withDefaults()
-	rows, err := overallGrid(cfg)
+	rows, err := overallGrid(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -249,9 +252,9 @@ func runFig3(cfg Config) (*Outcome, error) {
 	return o, nil
 }
 
-func runFig4(cfg Config) (*Outcome, error) {
+func runFig4(ctx context.Context, cfg Config) (*Outcome, error) {
 	cfg = cfg.withDefaults()
-	rows, err := overallGrid(cfg)
+	rows, err := overallGrid(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -276,9 +279,9 @@ func runFig4(cfg Config) (*Outcome, error) {
 	return o, nil
 }
 
-func runFig11(cfg Config) (*Outcome, error) {
+func runFig11(ctx context.Context, cfg Config) (*Outcome, error) {
 	cfg = cfg.withDefaults()
-	rows, err := overallGrid(cfg)
+	rows, err := overallGrid(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -62,7 +63,7 @@ func traceSetup(cfg Config) (*model.Model, []int, []model.LayerRef, error) {
 	return m.Clone(), prompt, refs, nil
 }
 
-func runFig5(cfg Config) (*Outcome, error) {
+func runFig5(ctx context.Context, cfg Config) (*Outcome, error) {
 	cfg = cfg.withDefaults()
 	o := newOutcome("fig5", "Memory-fault propagation")
 	m, prompt, refs, err := traceSetup(cfg)
@@ -112,7 +113,7 @@ func runFig5(cfg Config) (*Outcome, error) {
 	return o, nil
 }
 
-func runFig6(cfg Config) (*Outcome, error) {
+func runFig6(ctx context.Context, cfg Config) (*Outcome, error) {
 	cfg = cfg.withDefaults()
 	o := newOutcome("fig6", "Computational-fault propagation")
 	m, prompt, refs, err := traceSetup(cfg)
@@ -163,23 +164,23 @@ func runFig6(cfg Config) (*Outcome, error) {
 
 // findExamples runs memory-fault trials on the math task until it has a
 // subtly-wrong and (if possible) a distorted example.
-func findExamples(cfg Config, trials int) (*core.Result, error) {
+func findExamples(ctx context.Context, cfg Config, trials int) (*core.Result, error) {
 	loader := cfg.loader()
 	m, err := loader.Load("math-qwens")
 	if err != nil {
 		return nil, err
 	}
 	suite := pretrained.MathTask().Suite(cfg.Seed, minInt(cfg.Instances, 6), true)
-	return core.Campaign{
+	return cfg.campaign(ctx, "examples math/mem-2bit", core.Campaign{
 		Model: m, Suite: suite, Fault: faults.Mem2Bit,
 		Trials: trials, Seed: cfg.Seed + 7, Workers: cfg.Workers,
-	}.Run()
+	})
 }
 
-func runFig7(cfg Config) (*Outcome, error) {
+func runFig7(ctx context.Context, cfg Config) (*Outcome, error) {
 	cfg = cfg.withDefaults()
 	o := newOutcome("fig7", "Examples of distorted and subtly wrong outputs")
-	res, err := findExamples(cfg, maxInt(cfg.Trials, 200))
+	res, err := findExamples(ctx, cfg, maxInt(cfg.Trials, 200))
 	if err != nil {
 		return nil, err
 	}
@@ -232,10 +233,10 @@ func rerunFaulty(res *core.Result, tr core.Trial) string {
 	return out
 }
 
-func runFig12(cfg Config) (*Outcome, error) {
+func runFig12(ctx context.Context, cfg Config) (*Outcome, error) {
 	cfg = cfg.withDefaults()
 	o := newOutcome("fig12", "Reasoning-chain corruption example")
-	res, err := findExamples(cfg, maxInt(cfg.Trials, 200))
+	res, err := findExamples(ctx, cfg, maxInt(cfg.Trials, 200))
 	if err != nil {
 		return nil, err
 	}

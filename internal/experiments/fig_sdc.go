@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -48,7 +49,7 @@ var (
 	sdcCache = map[string][]sdcRow{}
 )
 
-func sdcGrid(cfg Config) ([]sdcRow, error) {
+func sdcGrid(ctx context.Context, cfg Config) ([]sdcRow, error) {
 	key := fmt.Sprintf("%d/%d/%d", cfg.Trials, cfg.Instances, cfg.Seed)
 	sdcMu.Lock()
 	if rows, ok := sdcCache[key]; ok {
@@ -69,12 +70,12 @@ func sdcGrid(cfg Config) ([]sdcRow, error) {
 			return nil, err
 		}
 		for _, fm := range []faults.Model{faults.Comp2Bit, faults.Mem2Bit} {
-			res, err := core.Campaign{
+			res, err := cfg.campaign(ctx, fmt.Sprintf("sdc %s/%s", entry.disp, fm), core.Campaign{
 				Model: m, Suite: suite, Fault: fm,
 				Trials:  cfg.Trials * 2, // Figures 8-10 need SDC counts, not just means
 				Seed:    cfg.Seed ^ hash2("sdc", entry.disp, fm.String()),
 				Workers: cfg.Workers,
-			}.Run()
+			})
 			if err != nil {
 				return nil, err
 			}
@@ -87,9 +88,9 @@ func sdcGrid(cfg Config) ([]sdcRow, error) {
 	return rows, nil
 }
 
-func runFig8(cfg Config) (*Outcome, error) {
+func runFig8(ctx context.Context, cfg Config) (*Outcome, error) {
 	cfg = cfg.withDefaults()
-	rows, err := sdcGrid(cfg)
+	rows, err := sdcGrid(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -116,8 +117,8 @@ func runFig8(cfg Config) (*Outcome, error) {
 }
 
 // bitFigure renders the per-bit-position proportion figure for a class.
-func bitFigure(cfg Config, class outcome.Class, id, title string) (*Outcome, error) {
-	rows, err := sdcGrid(cfg)
+func bitFigure(ctx context.Context, cfg Config, class outcome.Class, id, title string) (*Outcome, error) {
+	rows, err := sdcGrid(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -160,10 +161,10 @@ func bitFigure(cfg Config, class outcome.Class, id, title string) (*Outcome, err
 	return o, nil
 }
 
-func runFig9(cfg Config) (*Outcome, error) {
-	return bitFigure(cfg.withDefaults(), outcome.SDCSubtle, "fig9", "Subtly-wrong outputs by bit position")
+func runFig9(ctx context.Context, cfg Config) (*Outcome, error) {
+	return bitFigure(ctx, cfg.withDefaults(), outcome.SDCSubtle, "fig9", "Subtly-wrong outputs by bit position")
 }
 
-func runFig10(cfg Config) (*Outcome, error) {
-	return bitFigure(cfg.withDefaults(), outcome.SDCDistorted, "fig10", "Distorted outputs by bit position")
+func runFig10(ctx context.Context, cfg Config) (*Outcome, error) {
+	return bitFigure(ctx, cfg.withDefaults(), outcome.SDCDistorted, "fig10", "Distorted outputs by bit position")
 }

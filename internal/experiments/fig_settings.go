@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -43,16 +44,16 @@ func init() {
 }
 
 // beamCampaign runs a 2bits-comp campaign with the given beam count.
-func beamCampaign(cfg Config, m *model.Model, suite *tasks.Suite, beams int, tag string) (*core.Result, error) {
-	return core.Campaign{
+func beamCampaign(ctx context.Context, cfg Config, m *model.Model, suite *tasks.Suite, beams int, tag string) (*core.Result, error) {
+	return cfg.campaign(ctx, fmt.Sprintf("beam %s/b%d", tag, beams), core.Campaign{
 		Model: m, Suite: suite, Fault: faults.Comp2Bit,
 		Trials: cfg.Trials, Seed: cfg.Seed ^ hash2("beam", tag, fmt.Sprint(beams)),
 		Gen:     gen.Settings{NumBeams: beams},
 		Workers: cfg.Workers,
-	}.Run()
+	})
 }
 
-func runFig18(cfg Config) (*Outcome, error) {
+func runFig18(ctx context.Context, cfg Config) (*Outcome, error) {
 	cfg = cfg.withDefaults()
 	o := newOutcome("fig18", "Beam vs greedy under 2bits-comp")
 	loader := cfg.loader()
@@ -75,7 +76,7 @@ func runFig18(cfg Config) (*Outcome, error) {
 		}
 		var norms [2]float64
 		for i, beams := range []int{1, 6} {
-			res, err := beamCampaign(cfg, m, c.suite, beams, c.label)
+			res, err := beamCampaign(ctx, cfg, m, c.suite, beams, c.label)
 			if err != nil {
 				return nil, err
 			}
@@ -91,7 +92,7 @@ func runFig18(cfg Config) (*Outcome, error) {
 	return o, nil
 }
 
-func runFig19(cfg Config) (*Outcome, error) {
+func runFig19(ctx context.Context, cfg Config) (*Outcome, error) {
 	cfg = cfg.withDefaults()
 	o := newOutcome("fig19", "Beam-count trade-off")
 	m, err := cfg.loader().Load("wmt-alma")
@@ -103,7 +104,7 @@ func runFig19(cfg Config) (*Outcome, error) {
 	var perf, steps []float64
 	for _, beams := range []int{1, 2, 4, 6, 8} {
 		start := time.Now()
-		res, err := beamCampaign(cfg, m, suite, beams, "fig19")
+		res, err := beamCampaign(ctx, cfg, m, suite, beams, "fig19")
 		if err != nil {
 			return nil, err
 		}
@@ -123,7 +124,7 @@ func runFig19(cfg Config) (*Outcome, error) {
 	return o, nil
 }
 
-func runFig20(cfg Config) (*Outcome, error) {
+func runFig20(ctx context.Context, cfg Config) (*Outcome, error) {
 	cfg = cfg.withDefaults()
 	o := newOutcome("fig20", "Chain-of-Thought resilience")
 	loader := cfg.loader()
@@ -153,7 +154,7 @@ func runFig20(cfg Config) (*Outcome, error) {
 					// reasoning-token iterations, as in §4.3.2.
 					ReasoningOnly: mode.reasoning,
 					Workers:       cfg.Workers,
-				}.Run()
+				}.Run(ctx)
 				if err != nil {
 					return nil, err
 				}
@@ -171,7 +172,7 @@ func runFig20(cfg Config) (*Outcome, error) {
 	return o, nil
 }
 
-func runFig21(cfg Config) (*Outcome, error) {
+func runFig21(ctx context.Context, cfg Config) (*Outcome, error) {
 	cfg = cfg.withDefaults()
 	o := newOutcome("fig21", "Datatype study")
 	base, err := cfg.loader().Load("wmt-qwens")
@@ -191,7 +192,7 @@ func runFig21(cfg Config) (*Outcome, error) {
 				Model: m, Suite: suite, Fault: fm,
 				Trials: cfg.Trials, Seed: cfg.Seed ^ hash2("fig21", dt.String(), fm.String()),
 				Workers: cfg.Workers,
-			}.Run()
+			}.Run(ctx)
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"fmt"
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/report"
@@ -24,7 +26,7 @@ func init() {
 // output structure and fluency; in this reproduction that manifests as
 // sharper output distributions (lower-entropy logits survive larger
 // perturbations before the argmax flips).
-func runObs4(cfg Config) (*Outcome, error) {
+func runObs4(ctx context.Context, cfg Config) (*Outcome, error) {
 	cfg = cfg.withDefaults()
 	o := newOutcome("obs4", "Fine-tuned vs general under memory faults")
 	genModels, genSuites, err := generativeRoster(cfg)
@@ -45,11 +47,11 @@ func runObs4(cfg Config) (*Outcome, error) {
 		var ftNorm, genSum float64
 		genN := 0
 		for _, nm := range genModels[g.suite] {
-			res, err := core.Campaign{
+			res, err := cfg.campaign(ctx, fmt.Sprintf("obs4 %s/%s", g.suite, nm.Display), core.Campaign{
 				Model: nm.Model, Suite: suite, Fault: faults.Mem2Bit,
 				Trials: cfg.Trials, Seed: cfg.Seed ^ hash2("obs4", g.suite, nm.Display),
 				Workers: cfg.Workers,
-			}.Run()
+			})
 			if err != nil {
 				return nil, err
 			}

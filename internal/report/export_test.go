@@ -2,6 +2,7 @@ package report
 
 import (
 	"bytes"
+	"context"
 	"encoding/csv"
 	"strings"
 	"testing"
@@ -26,7 +27,7 @@ func exportResult(t *testing.T) *core.Result {
 		[]metrics.Kind{metrics.KindBLEU, metrics.KindChrF})
 	res, err := core.Campaign{
 		Model: m, Suite: suite, Fault: faults.Mem2Bit, Trials: 8, Seed: 5,
-	}.Run()
+	}.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,42 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+)
+
+// WriteTelemetryJSON dumps a campaign telemetry snapshot as indented
+// JSON — the machine-readable counterpart of the live progress line,
+// for dashboards and post-hoc throughput analysis.
+func WriteTelemetryJSON(w io.Writer, s core.TelemetrySnapshot) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// ProgressLine renders a Progress event as a single-line status update
+// suitable for overwriting in place on stderr (carriage return, no
+// newline):
+//
+//	label  42/120 ( 35.0%)  3.1 trials/s  fired 61.9%  M/S/D 12/25/5  ETA 25s
+func ProgressLine(label string, p core.Progress) string {
+	line := fmt.Sprintf("%s  %d/%d (%5.1f%%)", label, p.Done, p.Total, p.Pct())
+	if p.TrialsPerSec > 0 {
+		line += fmt.Sprintf("  %.1f trials/s", p.TrialsPerSec)
+	}
+	if p.Done > 0 {
+		line += fmt.Sprintf("  fired %.1f%%", 100*float64(p.Fired)/float64(p.Done))
+	}
+	line += fmt.Sprintf("  M/S/D %d/%d/%d", p.Tally.Masked, p.Tally.Subtle, p.Tally.Distorted)
+	if eta := p.ETA(); eta > 0 {
+		line += fmt.Sprintf("  ETA %s", eta.Round(time.Second))
+	}
+	return line
+}

@@ -1,0 +1,72 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/outcome"
+)
+
+func TestWriteTelemetryJSON(t *testing.T) {
+	s := core.TelemetrySnapshot{
+		ElapsedSeconds: 2.5,
+		TotalTrials:    120,
+		DoneTrials:     60,
+		TrialsPerSec:   24,
+		Fired:          45,
+		FiredRate:      0.75,
+		Masked:         30,
+		Subtle:         20,
+		Distorted:      10,
+		HookFires:      1234,
+		Workers: []core.WorkerSnapshot{
+			{Trials: 30, BusySeconds: 2.4, Utilization: 0.96},
+			{Trials: 30, BusySeconds: 2.3, Utilization: 0.92},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteTelemetryJSON(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	var back core.TelemetrySnapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("telemetry JSON does not round-trip: %v\n%s", err, buf.String())
+	}
+	if back.DoneTrials != 60 || back.FiredRate != 0.75 || back.HookFires != 1234 ||
+		len(back.Workers) != 2 || back.Workers[1].Utilization != 0.92 {
+		t.Fatalf("round-trip lost fields: %+v", back)
+	}
+	for _, key := range []string{"trials_per_sec", "fired_rate", "hook_fires", "utilization"} {
+		if !strings.Contains(buf.String(), key) {
+			t.Fatalf("JSON missing %q:\n%s", key, buf.String())
+		}
+	}
+}
+
+func TestProgressLine(t *testing.T) {
+	p := core.Progress{
+		Done: 42, Total: 120,
+		TrialsPerSec: 3.1,
+		Fired:        26,
+		Tally:        outcome.Tally{Masked: 12, Subtle: 25, Distorted: 5},
+		Elapsed:      13 * time.Second,
+	}
+	line := ProgressLine("fig3", p)
+	for _, want := range []string{"fig3", "42/120", "3.1 trials/s", "fired", "12/25/5", "ETA"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("progress line missing %q: %s", want, line)
+		}
+	}
+	if strings.Contains(line, "\n") {
+		t.Fatal("progress line must be single-line (overwritten in place)")
+	}
+
+	// Degenerate events must not divide by zero.
+	if got := ProgressLine("x", core.Progress{}); !strings.Contains(got, "0/0") {
+		t.Fatalf("zero progress line: %s", got)
+	}
+}
