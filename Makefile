@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench
+.PHONY: check fmt vet build test race bench fuzz cover
 
 ## check: the full CI gate — formatting, vet, build, tests, race detector.
 check: fmt vet build test race
@@ -22,10 +22,29 @@ race:
 	$(GO) test -race ./...
 
 ## bench: the campaign throughput benchmarks (Figure reproductions live
-## in bench_test.go at the repo root), plus the machine-readable
-## three-way runtime comparison (seed path vs prefix engine vs
-## streaming runner) written to BENCH_2.json.
+## in bench_test.go at the repo root), plus the machine-readable runtime
+## comparisons: seed path vs prefix engine vs streaming runner
+## (BENCH_2.json) and ABFT off vs site-only vs all-layer checking
+## (BENCH_3.json). Works from a fresh clone: prior BENCH_*.json files
+## are not required, and the final dump tolerates any that are missing.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
 	BENCH_JSON_OUT=$(CURDIR)/BENCH_2.json $(GO) test -run '^TestEmitBenchJSON$$' -v ./internal/core/
-	@cat $(CURDIR)/BENCH_2.json
+	BENCH3_JSON_OUT=$(CURDIR)/BENCH_3.json $(GO) test -run '^TestEmitABFTBenchJSON$$' -v ./internal/core/
+	@for f in $(CURDIR)/BENCH_*.json; do [ -f "$$f" ] && cat "$$f" || true; done
+
+## fuzz: short smoke sessions of the fuzz targets (also run in CI).
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzHalfRoundTrip$$' -fuzztime 10s ./internal/numerics/
+	$(GO) test -run '^$$' -fuzz '^FuzzFlipBits$$' -fuzztime 10s ./internal/faults/
+
+## cover: the detection-layer coverage gate enforced by CI — the ABFT and
+## mitigation packages must stay above 85% combined.
+cover:
+	$(GO) test -coverprofile=$(CURDIR)/coverage.out \
+		-coverpkg=./internal/abft,./internal/mitigate \
+		./internal/abft ./internal/mitigate
+	@total=$$($(GO) tool cover -func=$(CURDIR)/coverage.out | awk '/^total:/ {gsub(/%/,"",$$3); print $$3}'); \
+	echo "abft+mitigate combined coverage: $$total%"; \
+	awk -v t="$$total" 'BEGIN { exit (t+0 >= 85.0) ? 0 : 1 }' \
+		|| { echo "coverage $$total% below the 85% gate"; exit 1; }

@@ -16,6 +16,13 @@
 //	llmfi -suite wmt16-like -model QwenS -trials 5000 -progress -checkpoint run.ckpt
 //	llmfi -suite wmt16-like -model QwenS -trials 5000 -progress -resume run.ckpt
 //	llmfi -suite gsm8k -model math-qwens -trials 1000 -telemetry tel.json
+//
+// The -abft flags arm the checksum detection layer (internal/abft) for
+// the campaign, reporting recall and false positives alongside the
+// outcome tally:
+//
+//	llmfi -suite wmt16-like -model QwenS -fault 2bits-comp -abft
+//	llmfi -suite wmt16-like -model moe -fault 2bits-mem -abft -abft-policy correct-skip
 package main
 
 import (
@@ -33,6 +40,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/gen"
 	"repro/internal/metrics"
+	"repro/internal/mitigate"
 	"repro/internal/model"
 	"repro/internal/numerics"
 	"repro/internal/pretrained"
@@ -47,6 +55,8 @@ examples:
   llmfi -suite wmt16-like -model QwenS -trials 5000 -progress -checkpoint run.ckpt
   llmfi -suite wmt16-like -model QwenS -trials 5000 -progress -resume run.ckpt
   llmfi -suite gsm8k -model math-qwens -telemetry tel.json
+  llmfi -suite wmt16-like -model QwenS -fault 2bits-comp -abft
+  llmfi -suite wmt16-like -model moe -fault 2bits-mem -abft -abft-policy correct-skip
   llmfi -list
 `
 
@@ -70,6 +80,10 @@ func main() {
 		resume    = flag.String("resume", "", "resume from this checkpoint file, skipping completed trials")
 		progress  = flag.Bool("progress", false, "print a live progress line to stderr")
 		telemetry = flag.String("telemetry", "", "write the campaign telemetry snapshot (JSON) to this file")
+		abft      = flag.Bool("abft", false, "verify injection-site linear layers with checksum ABFT")
+		abftPol   = flag.String("abft-policy", "detect", "ABFT response: detect|correct|correct-skip")
+		abftTol   = flag.Float64("abft-tol", 0, "ABFT checksum tolerance override (0 = derived per layer)")
+		abftAll   = flag.Bool("abft-all", false, "ABFT: protect every linear layer, not just the trial's site")
 		list      = flag.Bool("list", false, "list suites and models")
 		csvTrials = flag.String("csv", "", "write per-trial results to this CSV file")
 		csvSum    = flag.String("csv-summary", "", "write the aggregate summary to this CSV file")
@@ -117,6 +131,13 @@ func main() {
 		opts = append(opts, core.WithFilter(faults.GateOnly))
 	}
 	c := core.New(m, suite, fm, *trials, *seed, opts...)
+	if *abft || *abftAll {
+		pol, err := mitigate.ParsePolicy(*abftPol)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c.ABFT = &core.ABFTConfig{Tol: *abftTol, Policy: pol, AllLayers: *abftAll}
+	}
 
 	// SIGINT cancels the campaign; the runner writes a final checkpoint
 	// on the way out, so no completed trial is lost.
@@ -313,6 +334,15 @@ func printResult(res *core.Result) {
 		t.Row(string(k), res.MetricMean(k), r.Value, fmt.Sprintf("[%.4f, %.4f]", r.Lo, r.Hi))
 	}
 	fmt.Println(t.String())
+
+	if c.ABFT != nil {
+		d := res.Detection()
+		fmt.Printf("abft: %d checks, %d flagged; recall %.1f%% (%d/%d fired), false positives %d, cascaded %d\n",
+			d.Checks, d.Flagged, 100*d.Recall(), d.Detected, d.Fired, d.FalsePositives, d.Cascaded)
+		if d.Corrected+d.Skipped > 0 {
+			fmt.Printf("abft: corrected %d rows, skipped (zeroed) %d rows\n", d.Corrected, d.Skipped)
+		}
+	}
 
 	tally := res.Tally()
 	fmt.Printf("outcomes: Masked %d (%.1f%%), SDC-subtle %d, SDC-distorted %d; fired %.1f%%\n",

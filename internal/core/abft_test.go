@@ -1,0 +1,224 @@
+package core
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/metrics"
+	"repro/internal/mitigate"
+	"repro/internal/model"
+	"repro/internal/numerics"
+	"repro/internal/tasks"
+)
+
+func abftCampaign(t *testing.T, fm faults.Model, cfg *ABFTConfig) Campaign {
+	t.Helper()
+	c := Campaign{
+		Model:   goldenModel(t, model.QwenS, false),
+		Suite:   tasks.NewSelfRefSuite("abft-campaign", 15, 3, 18, 8, []metrics.Kind{metrics.KindBLEU}),
+		Fault:   fm,
+		Trials:  48,
+		Seed:    31,
+		Workers: 2,
+		ABFT:    cfg,
+	}
+	return c
+}
+
+// exponentMSB is the top exponent bit of the model's storage format — the
+// flip that scales a value by 2^128 (or collapses it toward zero), which
+// the checksum must always see.
+func exponentMSB(dt numerics.DType) int { return dt.Bits() - 2 }
+
+func TestCampaignABFTDetection(t *testing.T) {
+	c := abftCampaign(t, faults.Comp2Bit, &ABFTConfig{})
+	tel := NewTelemetry()
+	res, err := NewRunner(c, WithTelemetry(tel)).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	msb := exponentMSB(c.Model.Cfg.DType)
+	for i, tr := range res.Trials {
+		if tr.Detection == nil {
+			t.Fatalf("trial %d has no detection record", i)
+		}
+		if tr.Detection.Checks == 0 {
+			t.Fatalf("trial %d ran zero checks", i)
+		}
+		if tr.Detection.FalsePositives != 0 {
+			t.Fatalf("trial %d (%v): %d false positives", i, tr.Site, tr.Detection.FalsePositives)
+		}
+		if tr.Fired && tr.Site.HighestBit() == msb && !tr.Detection.AtSite {
+			t.Errorf("trial %d: exponent-MSB fault %v escaped detection", i, tr.Site)
+		}
+	}
+
+	s := res.Detection()
+	if s.Trials != c.Trials {
+		t.Fatalf("detection summary covers %d/%d trials", s.Trials, c.Trials)
+	}
+	if s.Detected+s.Missed != s.Fired {
+		t.Fatalf("detected %d + missed %d != fired %d", s.Detected, s.Missed, s.Fired)
+	}
+	if s.Fired > 0 && s.Detected == 0 {
+		t.Fatal("no fired fault was ever detected")
+	}
+	if r := s.Recall(); r < 0 || r > 1 {
+		t.Fatalf("recall %f out of range", r)
+	}
+
+	// Per-bit grouping partitions the fired trials.
+	byBit := res.DetectionByBit()
+	firedSum, detSum := 0, 0
+	for _, b := range byBit {
+		firedSum += b.Fired
+		detSum += b.Detected
+	}
+	if firedSum != s.Fired || detSum != s.Detected {
+		t.Fatalf("DetectionByBit sums %d/%d, summary %d/%d", firedSum, detSum, s.Fired, s.Detected)
+	}
+
+	// Telemetry mirrors the result-side aggregation.
+	snap := tel.Snapshot()
+	if snap.AbftChecks != s.Checks || snap.AbftFlagged != s.Flagged ||
+		snap.AbftDetected != s.Detected || snap.AbftMissed != s.Missed ||
+		snap.AbftFalsePositives != s.FalsePositives || snap.AbftCascaded != s.Cascaded {
+		t.Fatalf("telemetry %+v disagrees with summary %+v", snap, s)
+	}
+}
+
+// TestCampaignABFTCorrection runs the same campaign detect-only and with
+// recompute-correction: every corrected computational fault re-executes
+// the clean GEMM on the same input, so the corrected trials must be
+// bit-identical to fault-free (Masked, output unchanged).
+func TestCampaignABFTCorrection(t *testing.T) {
+	detect, err := abftCampaign(t, faults.Comp2Bit, &ABFTConfig{}).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct, err := abftCampaign(t, faults.Comp2Bit, &ABFTConfig{Policy: mitigate.PolicyCorrect}).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Identical sampling schedule: site streams must match.
+	for i := range detect.Trials {
+		if detect.Trials[i].Site.String() != correct.Trials[i].Site.String() {
+			t.Fatalf("trial %d sites diverge: %v vs %v", i, detect.Trials[i].Site, correct.Trials[i].Site)
+		}
+	}
+
+	corrected := 0
+	for i, tr := range correct.Trials {
+		if tr.Detection == nil || tr.Detection.Corrected == 0 {
+			continue
+		}
+		corrected++
+		if tr.Outcome.Changed {
+			t.Errorf("trial %d (%v): corrected yet output changed", i, tr.Site)
+		}
+	}
+	if corrected == 0 {
+		t.Fatal("correction campaign never corrected anything")
+	}
+	if dm, cm := detect.Tally().Masked, correct.Tally().Masked; cm < dm {
+		t.Fatalf("correction lowered masked count: %d -> %d", dm, cm)
+	}
+	if s := correct.Detection(); s.Skipped != 0 {
+		t.Fatalf("PolicyCorrect skipped %d rows", s.Skipped)
+	}
+}
+
+// TestCampaignABFTMemorySkip exercises the full escalation on persistent
+// weight faults: recompute re-reads the corrupted weight, verification
+// fails, and the detector falls back to zeroing the checked row.
+func TestCampaignABFTMemorySkip(t *testing.T) {
+	res, err := abftCampaign(t, faults.Mem2Bit, &ABFTConfig{Policy: mitigate.PolicyCorrectOrSkip}).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Detection()
+	if s.Trials != 48 {
+		t.Fatalf("detection records on %d/48 trials", s.Trials)
+	}
+	if s.Flagged > 0 && s.Skipped == 0 {
+		t.Fatal("memory faults were flagged but never skipped: recompute cannot succeed against a resident weight fault")
+	}
+	if s.Corrected != 0 {
+		t.Fatalf("%d memory faults 'corrected' — recompute used the corrupted weight and still verified", s.Corrected)
+	}
+	if s.FalsePositives != 0 {
+		t.Fatalf("%d false positives", s.FalsePositives)
+	}
+}
+
+func TestFingerprintSeparatesABFTConfigs(t *testing.T) {
+	base := abftCampaign(t, faults.Comp2Bit, nil)
+	seen := map[Fingerprint]string{}
+	for _, tc := range []struct {
+		name string
+		cfg  *ABFTConfig
+	}{
+		{"off", nil},
+		{"detect", &ABFTConfig{}},
+		{"correct", &ABFTConfig{Policy: mitigate.PolicyCorrect}},
+		{"skip", &ABFTConfig{Policy: mitigate.PolicyCorrectOrSkip}},
+		{"all-layers", &ABFTConfig{AllLayers: true}},
+		{"loose-tol", &ABFTConfig{Tol: 0.5}},
+	} {
+		c := base
+		c.ABFT = tc.cfg
+		fp := c.Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Fatalf("ABFT configs %q and %q share a fingerprint", prev, tc.name)
+		}
+		seen[fp] = tc.name
+	}
+}
+
+// TestCheckpointCarriesDetection round-trips a checkpointed ABFT campaign
+// through disk and confirms resuming restores the Detection records, while
+// a campaign with a different ABFT config refuses the checkpoint.
+func TestCheckpointCarriesDetection(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "abft.ckpt")
+	c := abftCampaign(t, faults.Comp2Bit, &ABFTConfig{})
+	ref, err := NewRunner(c, WithCheckpoint(path)).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ck, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Done() != c.Trials {
+		t.Fatalf("checkpoint holds %d/%d trials", ck.Done(), c.Trials)
+	}
+	resumed, err := NewRunner(c, WithResumeFrom(ck)).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref.Trials {
+		a, b := ref.Trials[i].Detection, resumed.Trials[i].Detection
+		if a == nil || b == nil {
+			t.Fatalf("trial %d detection lost in round trip (%v vs %v)", i, a, b)
+		}
+		if *a != *b {
+			t.Fatalf("trial %d detection differs after resume: %+v vs %+v", i, *a, *b)
+		}
+	}
+
+	other := c
+	other.ABFT = &ABFTConfig{Policy: mitigate.PolicyCorrect}
+	if err := ck.Matches(other); err == nil {
+		t.Fatal("checkpoint accepted by a campaign with a different ABFT policy")
+	}
+	off := c
+	off.ABFT = nil
+	if err := ck.Matches(off); err == nil {
+		t.Fatal("ABFT checkpoint accepted by an ABFT-off campaign")
+	}
+}

@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/abft"
 	"repro/internal/faults"
 	"repro/internal/gen"
 	"repro/internal/metrics"
+	"repro/internal/mitigate"
 	"repro/internal/model"
 	"repro/internal/outcome"
 	"repro/internal/prng"
@@ -47,6 +49,12 @@ type Campaign struct {
 	// once per installation; share state through the closure if the
 	// mitigation needs campaign-wide counters.
 	ExtraHook func() model.Hook
+	// ABFT, when non-nil, arms the online checksum detector
+	// (internal/abft) for every trial: each worker owns a Checker whose
+	// clean-weight checksums are computed before the trial's fault is
+	// armed, and each trial's verdicts land in Trial.Detection. The
+	// baseline runs unchecked — it is the fault-free reference.
+	ABFT *ABFTConfig
 
 	// noPrefixReuse forces every trial through full prefill and
 	// deepClones gives every worker a deep model copy — together they
@@ -54,6 +62,42 @@ type Campaign struct {
 	// equivalence tests; production campaigns leave them false.
 	noPrefixReuse bool
 	deepClones    bool
+}
+
+// ABFTConfig configures the campaign's online detection layer.
+type ABFTConfig struct {
+	// Tol overrides the per-layer derived tolerance (0 = abft.DefaultTol
+	// of each protected layer's input width).
+	Tol float64
+	// Policy is the response escalation: detect-only, recompute-correct,
+	// or correct-or-skip (zero the row when recomputation still fails).
+	Policy mitigate.Policy
+	// AllLayers protects every block linear layer instead of only each
+	// trial's sampled injection-site layer. Site-only protection is the
+	// measurement configuration (the checked layer is always the struck
+	// one); AllLayers is the deployment configuration whose full coverage
+	// cost the BENCH_3 comparison measures.
+	AllLayers bool
+}
+
+// Detection summarizes one trial's ABFT verdicts.
+type Detection struct {
+	// Checks counts checksum evaluations; Flagged the violations.
+	Checks, Flagged int
+	// AtSite reports a violation attributable to the injected fault: at
+	// the site layer — for computational faults at the struck position,
+	// for memory faults at any position (the resident corruption is live
+	// for the whole trial).
+	AtSite bool
+	// Cascaded counts violations at other layers/positions while the
+	// fault was live — downstream saturation of a genuine corruption, not
+	// noise.
+	Cascaded int
+	// FalsePositives counts violations with no fault active: pure
+	// accumulation noise crossing the tolerance.
+	FalsePositives int
+	// Corrected and Skipped count recompute-repaired and zeroed outputs.
+	Corrected, Skipped int
 }
 
 // Trial is the outcome of one injection.
@@ -76,6 +120,8 @@ type Trial struct {
 	ExpertChanged bool
 	// Steps is the decode-step count of the trial.
 	Steps int
+	// Detection is the trial's ABFT record (nil without Campaign.ABFT).
+	Detection *Detection
 }
 
 // Result is a completed campaign.
@@ -135,8 +181,9 @@ func (c Campaign) Run(ctx context.Context) (*Result, error) {
 	return NewRunner(c).Run(ctx)
 }
 
-// runTrial performs one injection on the worker's model clone.
-func (c Campaign) runTrial(wm *model.Model, sampler *faults.Sampler, src *prng.Source, t int, baseline *Baseline, gs gen.Settings, check AnswerChecker) (Trial, error) {
+// runTrial performs one injection on the worker's model clone. checker is
+// the worker's ABFT detector (nil when the campaign runs without one).
+func (c Campaign) runTrial(wm *model.Model, sampler *faults.Sampler, src *prng.Source, t int, baseline *Baseline, gs gen.Settings, check AnswerChecker, checker *abft.Checker) (Trial, error) {
 	idx := t % len(c.Suite.Instances)
 	inst := c.Suite.Instances[idx]
 	base := &baseline.Instances[idx]
@@ -149,8 +196,24 @@ func (c Campaign) runTrial(wm *model.Model, sampler *faults.Sampler, src *prng.S
 	maxIters, promptLen := c.faultWindow(&inst, base)
 	site := sampler.Sample(src, c.Fault, maxIters)
 
+	if checker != nil {
+		// Checksums must snapshot clean weights, so Protect precedes Arm.
+		var perr error
+		if c.ABFT.AllLayers {
+			perr = checker.ProtectAll(wm)
+		} else {
+			perr = checker.Protect(wm, site.Layer)
+		}
+		if perr != nil {
+			return Trial{}, &TrialError{Index: t, Site: site, Err: perr}
+		}
+		checker.Reset()
+		wm.SetChecker(checker)
+	}
+
 	inj, err := faults.Arm(wm, site, promptLen)
 	if err != nil {
+		wm.SetChecker(nil)
 		return Trial{}, &TrialError{Index: t, Site: site, Err: err}
 	}
 	if c.ExtraHook != nil {
@@ -175,6 +238,10 @@ func (c Campaign) runTrial(wm *model.Model, sampler *faults.Sampler, src *prng.S
 		Choice:   ib.Choice,
 		Metrics:  ib.Metrics,
 		Steps:    ib.Steps,
+	}
+	if checker != nil {
+		wm.SetChecker(nil)
+		trial.Detection = summarizeDetection(checker, site, promptLen, fired)
 	}
 	if c.Suite.Type == tasks.MultipleChoice {
 		masked := ib.Choice == base.Choice
@@ -254,6 +321,34 @@ func (c Campaign) faultWindow(inst *tasks.Instance, base *InstanceBaseline) (max
 		n = 1
 	}
 	return n, len(inst.Prompt)
+}
+
+// summarizeDetection folds the checker's per-trial event log into the
+// Trial.Detection record, attributing each violation to the injected
+// fault, to its downstream cascade, or to noise.
+func summarizeDetection(checker *abft.Checker, site faults.Site, promptLen int, fired bool) *Detection {
+	st := checker.Stats()
+	d := &Detection{
+		Checks:    st.Checks,
+		Flagged:   st.Flagged,
+		Corrected: st.Corrected,
+		Skipped:   st.Skipped,
+	}
+	target := promptLen + site.GenIter
+	for _, ev := range checker.Events() {
+		switch {
+		case ev.Ref == site.Layer && (site.Fault.IsMemory() || ev.Pos == target):
+			d.AtSite = true
+		case site.Fault.IsMemory() || (fired && ev.Pos >= target):
+			// The fault was live when this check ran: a flag elsewhere is
+			// the corruption propagating (e.g. float32 saturation of a
+			// downstream GEMM), not detector noise.
+			d.Cascaded++
+		default:
+			d.FalsePositives++
+		}
+	}
+	return d
 }
 
 // expertTraceEqual compares two per-block expert selection traces.

@@ -30,11 +30,19 @@ type Fingerprint struct {
 // Fingerprint derives the campaign's resume identity.
 func (c Campaign) Fingerprint() Fingerprint {
 	h := fnv.New64a()
-	fmt.Fprintf(h, "%v|%d|%d|%d|%d|%v|%d|%v|%v|%v|%v",
+	abftKey := "abft-off"
+	if c.ABFT != nil {
+		// A correcting policy changes trial outcomes, and tolerance /
+		// coverage change Detection records, so resume across different
+		// ABFT configurations must be refused.
+		abftKey = fmt.Sprintf("abft:%g:%v:%t", c.ABFT.Tol, c.ABFT.Policy, c.ABFT.AllLayers)
+	}
+	fmt.Fprintf(h, "%v|%d|%d|%d|%d|%v|%d|%v|%v|%v|%v|%s",
 		c.Model.Cfg.DType, c.Model.Cfg.MaxSeq,
 		len(c.Suite.Instances), c.Gen.NumBeams, c.Gen.MaxNewTokens,
 		c.Thresholds, c.Gen.StopToken,
-		c.ReasoningOnly, c.Filter != nil, c.Check != nil, c.ExtraHook != nil)
+		c.ReasoningOnly, c.Filter != nil, c.Check != nil, c.ExtraHook != nil,
+		abftKey)
 	return Fingerprint{
 		Model:  c.Model.Cfg.Name,
 		Suite:  c.Suite.Name,

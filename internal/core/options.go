@@ -55,6 +55,12 @@ func WithChecker(ch AnswerChecker) Option {
 	return func(c *Campaign) { c.Check = ch }
 }
 
+// WithABFT arms the online checksum detector (internal/abft) for every
+// trial of the campaign.
+func WithABFT(cfg ABFTConfig) Option {
+	return func(c *Campaign) { c.ABFT = &cfg }
+}
+
 // WithReasoningOnly restricts computational-fault iterations to the
 // reasoning segment of the baseline output (the CoT study, §4.3.2).
 func WithReasoningOnly(on bool) Option {

@@ -163,6 +163,94 @@ func (r *Result) BitProportions(class outcome.Class) map[int]float64 {
 	return out
 }
 
+// DetectionSummary aggregates the per-trial ABFT verdicts of a campaign
+// run with Campaign.ABFT.
+type DetectionSummary struct {
+	// Trials counts trials carrying a Detection record; Fired those whose
+	// fault struck.
+	Trials, Fired int
+	// Detected and Missed split the fired trials by whether the checker
+	// flagged the injection site.
+	Detected, Missed int
+	// FalsePositives and Cascaded sum the per-trial noise flags and
+	// downstream-propagation flags.
+	FalsePositives, Cascaded int
+	// Corrected and Skipped sum the corrective actions; Checks and
+	// Flagged the raw check counts.
+	Corrected, Skipped, Checks, Flagged int
+}
+
+// Recall is the detection recall over fired trials.
+func (s DetectionSummary) Recall() float64 {
+	if s.Fired == 0 {
+		return 0
+	}
+	return float64(s.Detected) / float64(s.Fired)
+}
+
+// Detection folds every trial's ABFT record into campaign totals.
+func (r *Result) Detection() DetectionSummary {
+	var s DetectionSummary
+	for _, t := range r.Trials {
+		d := t.Detection
+		if d == nil {
+			continue
+		}
+		s.Trials++
+		if t.Fired {
+			s.Fired++
+			if d.AtSite {
+				s.Detected++
+			} else {
+				s.Missed++
+			}
+		}
+		s.FalsePositives += d.FalsePositives
+		s.Cascaded += d.Cascaded
+		s.Corrected += d.Corrected
+		s.Skipped += d.Skipped
+		s.Checks += d.Checks
+		s.Flagged += d.Flagged
+	}
+	return s
+}
+
+// BitRecall is the detection outcome of fired trials whose fault's
+// highest flipped bit landed on Bit — the x-axis of the fig_abft
+// recall-vs-bit-position figure.
+type BitRecall struct {
+	Bit      int
+	Fired    int
+	Detected int
+}
+
+// DetectionByBit groups fired trials by highest flipped bit, sorted by
+// bit position.
+func (r *Result) DetectionByBit() []BitRecall {
+	byBit := map[int]*BitRecall{}
+	for _, t := range r.Trials {
+		if t.Detection == nil || !t.Fired {
+			continue
+		}
+		hb := t.Site.HighestBit()
+		b := byBit[hb]
+		if b == nil {
+			b = &BitRecall{Bit: hb}
+			byBit[hb] = b
+		}
+		b.Fired++
+		if t.Detection.AtSite {
+			b.Detected++
+		}
+	}
+	out := make([]BitRecall, 0, len(byBit))
+	for _, b := range byBit {
+		out = append(out, *b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Bit < out[j].Bit })
+	return out
+}
+
 // MeanSteps returns the average decode-step count per trial (the runtime
 // proxy of Figure 19).
 func (r *Result) MeanSteps() float64 {

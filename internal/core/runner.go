@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/abft"
 	"repro/internal/faults"
 	"repro/internal/model"
 	"repro/internal/prng"
@@ -266,12 +267,19 @@ func (r *Runner) run(ctx context.Context, emit func(Event)) (*Result, error) {
 				cancel()
 				return
 			}
+			// The worker's ABFT detector: checksums of layers it has
+			// protected are cached across its trials (Disarm restores the
+			// weights, so the clean-weight sums stay valid).
+			var checker *abft.Checker
+			if c.ABFT != nil {
+				checker = abft.New(abft.Config{Tol: c.ABFT.Tol, Policy: c.ABFT.Policy})
+			}
 			for t := range jobs {
 				if runCtx.Err() != nil {
 					return
 				}
 				start := time.Now()
-				trial, err := c.runTrial(wm, sampler, seedSrc.Split(uint64(t)), t, baseline, gs, check)
+				trial, err := c.runTrial(wm, sampler, seedSrc.Split(uint64(t)), t, baseline, gs, check, checker)
 				if err != nil {
 					// First failure cancels the pool; the collector
 					// surfaces it through the event stream immediately.

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"path/filepath"
 	"reflect"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -115,6 +116,17 @@ func TestRunnerResumeBitIdentical(t *testing.T) {
 // stream is cancelled after the second completed trial, the runner
 // writes its final checkpoint on the way out, and resuming from that
 // file merges to the exact uninterrupted Result.
+//
+// The trials of this workload run in fractions of a millisecond, so
+// asserting "cancellation stopped the pool" by racing the consumer
+// goroutine against free-running workers is flaky by construction.
+// Instead the interrupted run installs a gating ExtraHook: the first two
+// trials run free, later ones block at their first layer output until
+// the consumer has cancelled — which pins the actual contract (the pool
+// stops within one in-flight trial per worker) deterministically.
+// ExtraHook presence is part of the campaign fingerprint, so the
+// reference and resumed runs install an inert hook to keep the three
+// fingerprints equal.
 func TestRunnerInterruptThenResume(t *testing.T) {
 	c := Campaign{
 		Model:   goldenModel(t, model.QwenS, false),
@@ -124,15 +136,34 @@ func TestRunnerInterruptThenResume(t *testing.T) {
 		Seed:    5,
 		Workers: 2,
 	}
+	c.ExtraHook = func() model.Hook {
+		return func(model.LayerRef, int, []float32) {}
+	}
 	ref, err := NewRunner(c).Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 
+	// Installations happen in a deterministic order: #1 is the baseline
+	// evaluation, #2 and #3 are the first two trials; everything later
+	// blocks until release closes.
+	release := make(chan struct{})
+	var installs atomic.Int32
+	gated := c
+	gated.ExtraHook = func() model.Hook {
+		wait := installs.Add(1) > 3
+		return func(model.LayerRef, int, []float32) {
+			if wait {
+				wait = false
+				<-release
+			}
+		}
+	}
+
 	path := filepath.Join(t.TempDir(), "run.ckpt")
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	r := NewRunner(c, WithCheckpoint(path), WithCheckpointEvery(1))
+	r := NewRunner(gated, WithCheckpoint(path), WithCheckpointEvery(1))
 
 	var final CampaignDone
 	sawBaseline, sawFinal, trials := false, false, 0
@@ -150,6 +181,7 @@ func TestRunnerInterruptThenResume(t *testing.T) {
 			trials++
 			if trials == 2 {
 				cancel()
+				close(release)
 			}
 		case Progress:
 			if e.Total != c.Trials || e.Done < 1 || e.Done > c.Trials {
@@ -209,6 +241,22 @@ func TestRunnerCancellation(t *testing.T) {
 
 	// Mid-run cancel: wait for the first completed trial, then cancel.
 	// With 2 workers, at most the two in-flight trials may still finish.
+	// As in TestRunnerInterruptThenResume, a gating ExtraHook keeps the
+	// sub-millisecond trials from outrunning the cancelling goroutine:
+	// install #1 is the baseline, #2 the first trial, and later trials
+	// block until the cancel has landed.
+	release := make(chan struct{})
+	var installs atomic.Int32
+	gated := c
+	gated.ExtraHook = func() model.Hook {
+		wait := installs.Add(1) > 2
+		return func(model.LayerRef, int, []float32) {
+			if wait {
+				wait = false
+				<-release
+			}
+		}
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	tel := NewTelemetry()
@@ -217,8 +265,9 @@ func TestRunnerCancellation(t *testing.T) {
 			time.Sleep(time.Millisecond)
 		}
 		cancel()
+		close(release)
 	}()
-	res, err := NewRunner(c, WithTelemetry(tel)).Run(ctx)
+	res, err := NewRunner(gated, WithTelemetry(tel)).Run(ctx)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("mid-run cancel err = %v, want context.Canceled", err)
 	}

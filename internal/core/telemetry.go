@@ -25,6 +25,17 @@ type Telemetry struct {
 	fired   int
 	tally   outcome.Tally
 	workers []workerStat
+	abft    abftStat
+}
+
+// abftStat accumulates the campaign's detection-layer accounting.
+// detected/missed classify fired trials by whether the checker flagged
+// the injection site; the rest sum the per-trial Detection counters.
+type abftStat struct {
+	checks, flagged          int
+	detected, missed         int
+	falsePositives, cascaded int
+	corrected, skipped       int
 }
 
 type workerStat struct {
@@ -48,6 +59,7 @@ func (t *Telemetry) begin(total, workers int) {
 	t.fired = 0
 	t.tally = outcome.Tally{}
 	t.workers = make([]workerStat, workers)
+	t.abft = abftStat{}
 	t.hookFires.Store(0)
 }
 
@@ -60,6 +72,21 @@ func (t *Telemetry) record(worker int, tr Trial, busy time.Duration) {
 		t.fired++
 	}
 	t.tally.Add(tr.Outcome)
+	if d := tr.Detection; d != nil {
+		t.abft.checks += d.Checks
+		t.abft.flagged += d.Flagged
+		if tr.Fired {
+			if d.AtSite {
+				t.abft.detected++
+			} else {
+				t.abft.missed++
+			}
+		}
+		t.abft.falsePositives += d.FalsePositives
+		t.abft.cascaded += d.Cascaded
+		t.abft.corrected += d.Corrected
+		t.abft.skipped += d.Skipped
+	}
 	if worker >= 0 && worker < len(t.workers) {
 		t.workers[worker].trials++
 		t.workers[worker].busy += busy
@@ -81,17 +108,29 @@ type WorkerSnapshot struct {
 
 // TelemetrySnapshot is a point-in-time rendering of the registry.
 type TelemetrySnapshot struct {
-	ElapsedSeconds float64          `json:"elapsed_seconds"`
-	TotalTrials    int              `json:"total_trials"`
-	DoneTrials     int              `json:"done_trials"`
-	TrialsPerSec   float64          `json:"trials_per_sec"`
-	Fired          int              `json:"fired"`
-	FiredRate      float64          `json:"fired_rate"`
-	Masked         int              `json:"masked"`
-	Subtle         int              `json:"sdc_subtle"`
-	Distorted      int              `json:"sdc_distorted"`
-	HookFires      int64            `json:"hook_fires"`
-	Workers        []WorkerSnapshot `json:"workers"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	TotalTrials    int     `json:"total_trials"`
+	DoneTrials     int     `json:"done_trials"`
+	TrialsPerSec   float64 `json:"trials_per_sec"`
+	Fired          int     `json:"fired"`
+	FiredRate      float64 `json:"fired_rate"`
+	Masked         int     `json:"masked"`
+	Subtle         int     `json:"sdc_subtle"`
+	Distorted      int     `json:"sdc_distorted"`
+	HookFires      int64   `json:"hook_fires"`
+	// ABFT detection-layer counters (all zero without Campaign.ABFT):
+	// checks/violations plus fired trials split into detected (flagged at
+	// the injection site) and missed, noise false positives, cascaded
+	// downstream flags, and corrective actions taken.
+	AbftChecks         int              `json:"abft_checks,omitempty"`
+	AbftFlagged        int              `json:"abft_flagged,omitempty"`
+	AbftDetected       int              `json:"abft_detected,omitempty"`
+	AbftMissed         int              `json:"abft_missed,omitempty"`
+	AbftFalsePositives int              `json:"abft_false_positives,omitempty"`
+	AbftCascaded       int              `json:"abft_cascaded,omitempty"`
+	AbftCorrected      int              `json:"abft_corrected,omitempty"`
+	AbftSkipped        int              `json:"abft_skipped,omitempty"`
+	Workers            []WorkerSnapshot `json:"workers"`
 }
 
 // Snapshot renders the current state. Done/throughput count only trials
@@ -113,6 +152,15 @@ func (t *Telemetry) Snapshot() TelemetrySnapshot {
 		Subtle:         t.tally.Subtle,
 		Distorted:      t.tally.Distorted,
 		HookFires:      t.hookFires.Load(),
+
+		AbftChecks:         t.abft.checks,
+		AbftFlagged:        t.abft.flagged,
+		AbftDetected:       t.abft.detected,
+		AbftMissed:         t.abft.missed,
+		AbftFalsePositives: t.abft.falsePositives,
+		AbftCascaded:       t.abft.cascaded,
+		AbftCorrected:      t.abft.corrected,
+		AbftSkipped:        t.abft.skipped,
 	}
 	if elapsed > 0 {
 		s.TrialsPerSec = float64(t.done) / elapsed.Seconds()

@@ -18,6 +18,8 @@ func TestRegistryComplete(t *testing.T) {
 		"fig18", "fig19", "fig20", "fig21",
 		// ...plus the observation-focused, extension, and ablation studies.
 		"obs4", "ext1", "ext2", "abl1", "abl2", "abl3",
+		// ABFT detection-layer extension (PR 3).
+		"fig_abft",
 	}
 	have := map[string]bool{}
 	for _, e := range All() {

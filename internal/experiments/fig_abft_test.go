@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestFigABFTSmoke(t *testing.T) {
+	e, err := Get("fig_abft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.Run(context.Background(), tinyCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Recall%", "dense", "moe", "1bit-comp", "2bits-mem", "overhead"} {
+		if !strings.Contains(out.Text, want) {
+			t.Errorf("fig_abft text missing %q", want)
+		}
+	}
+	for _, prof := range []string{"dense", "moe"} {
+		for _, fm := range []string{"1bit-comp", "2bits-comp", "2bits-mem"} {
+			key := "fig_abft." + prof + "." + fm + ".recall"
+			r, ok := out.Numbers[key]
+			if !ok {
+				t.Fatalf("missing %s", key)
+			}
+			if r < 0 || r > 1 {
+				t.Errorf("%s = %f out of range", key, r)
+			}
+			if fp := out.Numbers["fig_abft."+prof+"."+fm+".false_positives"]; fp != 0 {
+				t.Errorf("%s/%s: %v false positives on the derived tolerance", prof, fm, fp)
+			}
+		}
+	}
+	if _, ok := out.Numbers["fig_abft.overhead_frac"]; !ok {
+		t.Error("missing overhead number")
+	}
+}

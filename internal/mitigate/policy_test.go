@@ -1,0 +1,100 @@
+package mitigate
+
+import "testing"
+
+func TestPolicyStringParseRoundTrip(t *testing.T) {
+	for _, p := range []Policy{PolicyDetect, PolicyCorrect, PolicyCorrectOrSkip} {
+		got, err := ParsePolicy(p.String())
+		if err != nil {
+			t.Fatalf("ParsePolicy(%q): %v", p.String(), err)
+		}
+		if got != p {
+			t.Fatalf("round trip %v -> %q -> %v", p, p.String(), got)
+		}
+	}
+	if _, err := ParsePolicy("retry-forever"); err == nil {
+		t.Fatal("ParsePolicy accepted an unknown policy")
+	}
+}
+
+func TestActionString(t *testing.T) {
+	for a, want := range map[Action]string{
+		ActionDetect:  "detect",
+		ActionCorrect: "correct",
+		ActionSkip:    "skip",
+	} {
+		if got := a.String(); got != want {
+			t.Fatalf("Action(%d).String() = %q, want %q", a, got, want)
+		}
+	}
+}
+
+// respondCase drives Respond with a recompute that writes `clean` and a
+// verify that reports `verifies`.
+func respondCase(t *testing.T, p Policy, verifies bool) (Action, []float32) {
+	t.Helper()
+	out := []float32{9, 9, 9}
+	scratch := make([]float32, len(out))
+	clean := []float32{1, 2, 3}
+	recomputed := false
+	act := Respond(p, out, scratch,
+		func(dst []float32) { recomputed = true; copy(dst, clean) },
+		func(cand []float32) bool { return verifies })
+	if p == PolicyDetect && recomputed {
+		t.Fatal("detect-only policy recomputed")
+	}
+	if p != PolicyDetect && !recomputed {
+		t.Fatal("correcting policy never recomputed")
+	}
+	return act, out
+}
+
+func TestRespondDetectOnly(t *testing.T) {
+	act, out := respondCase(t, PolicyDetect, true)
+	if act != ActionDetect {
+		t.Fatalf("action = %v, want detect", act)
+	}
+	for _, v := range out {
+		if v != 9 {
+			t.Fatal("detect-only policy mutated the output")
+		}
+	}
+}
+
+func TestRespondCorrectSucceeds(t *testing.T) {
+	for _, p := range []Policy{PolicyCorrect, PolicyCorrectOrSkip} {
+		act, out := respondCase(t, p, true)
+		if act != ActionCorrect {
+			t.Fatalf("policy %v: action = %v, want correct", p, act)
+		}
+		for i, want := range []float32{1, 2, 3} {
+			if out[i] != want {
+				t.Fatalf("policy %v: out[%d] = %g, want recomputed %g", p, i, out[i], want)
+			}
+		}
+	}
+}
+
+func TestRespondCorrectFailsWithoutSkip(t *testing.T) {
+	act, out := respondCase(t, PolicyCorrect, false)
+	if act != ActionDetect {
+		t.Fatalf("action = %v, want detect (unverified recompute must not land)", act)
+	}
+	for _, v := range out {
+		if v != 9 {
+			t.Fatal("unverified recompute overwrote the output")
+		}
+	}
+}
+
+func TestRespondSkipZeroes(t *testing.T) {
+	act, out := respondCase(t, PolicyCorrectOrSkip, false)
+	if act != ActionSkip {
+		t.Fatalf("action = %v, want skip", act)
+	}
+	for _, v := range out {
+		if v != 0 {
+			t.Fatal("skip left nonzero output")
+		}
+	}
+}

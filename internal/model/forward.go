@@ -118,11 +118,11 @@ func (st *State) DecodeStep(tok int) []float32 {
 		tensor.RMSNormRow(st.h, blk.AttnNorm, cfg.Eps)
 
 		blk.Wq.Forward(st.q, st.h)
-		m.finishLinear(LayerRef{bi, KindQ, -1}, pos, st.q)
+		m.finishLinear(LayerRef{bi, KindQ, -1}, pos, blk.Wq, st.h, st.q)
 		blk.Wk.Forward(st.k, st.h)
-		m.finishLinear(LayerRef{bi, KindK, -1}, pos, st.k)
+		m.finishLinear(LayerRef{bi, KindK, -1}, pos, blk.Wk, st.h, st.k)
 		blk.Wv.Forward(st.v, st.h)
-		m.finishLinear(LayerRef{bi, KindV, -1}, pos, st.v)
+		m.finishLinear(LayerRef{bi, KindV, -1}, pos, blk.Wv, st.h, st.v)
 
 		m.applyRoPE(st.q, pos)
 		m.applyRoPE(st.k, pos)
@@ -133,7 +133,7 @@ func (st *State) DecodeStep(tok int) []float32 {
 		m.attendAt(st, bi, pos, st.q, st.attnOut)
 
 		blk.Wo.Forward(st.h, st.attnOut)
-		m.finishLinear(LayerRef{bi, KindOut, -1}, pos, st.h)
+		m.finishLinear(LayerRef{bi, KindOut, -1}, pos, blk.Wo, st.attnOut, st.h)
 		for i := range st.x {
 			st.x[i] += st.h[i]
 		}
@@ -154,7 +154,7 @@ func (st *State) DecodeStep(tok int) []float32 {
 
 	tensor.RMSNormRow(st.x, m.FinalNorm, cfg.Eps)
 	m.LMHead.Forward(st.logits, st.x)
-	m.finishLinear(LayerRef{-1, KindLMHead, -1}, pos, st.logits)
+	m.finishLinear(LayerRef{-1, KindLMHead, -1}, pos, m.LMHead, st.x, st.logits)
 
 	st.Pos++
 	return st.logits
@@ -166,23 +166,23 @@ func (st *State) DecodeStep(tok int) []float32 {
 func (m *Model) mlpForward(st *State, mlp *MLPWeights, base LayerRef, pos int, dst, h []float32) {
 	base.Kind = KindGate
 	mlp.WGate.Forward(st.ff1, h)
-	m.finishLinear(base, pos, st.ff1)
+	m.finishLinear(base, pos, mlp.WGate, h, st.ff1)
 	base.Kind = KindUp
 	mlp.WUp.Forward(st.ff2, h)
-	m.finishLinear(base, pos, st.ff2)
+	m.finishLinear(base, pos, mlp.WUp, h, st.ff2)
 	for i, g := range st.ff1 {
 		st.ffa[i] = float32(float64(g)/(1+math.Exp(-float64(g)))) * st.ff2[i]
 	}
 	base.Kind = KindDown
 	mlp.WDown.Forward(dst, st.ffa)
-	m.finishLinear(base, pos, dst)
+	m.finishLinear(base, pos, mlp.WDown, st.ffa, dst)
 }
 
 // moeForward routes h through the top-K experts selected by the router
 // gate layer and writes the probability-weighted mixture to st.h.
 func (m *Model) moeForward(st *State, blk *Block, bi, pos int) {
 	blk.Router.Forward(st.routerLogits, st.h)
-	m.finishLinear(LayerRef{bi, KindRouter, -1}, pos, st.routerLogits)
+	m.finishLinear(LayerRef{bi, KindRouter, -1}, pos, blk.Router, st.h, st.routerLogits)
 	m.moeMix(st, blk, bi, pos, st.routerLogits, st.h, st.h)
 }
 
@@ -274,10 +274,18 @@ func (m *Model) attendAt(st *State, bi, pos int, qrow, out []float32) {
 }
 
 // finishLinear applies the model's forward hooks to a linear layer's
-// output and requantizes it to the model datatype. Hooks run before
-// rounding so an injected bit pattern is exactly the DType value.
-func (m *Model) finishLinear(ref LayerRef, pos int, out []float32) {
+// output, runs the linear checker if one is armed, and requantizes the
+// output to the model datatype. Hooks run before rounding so an injected
+// bit pattern is exactly the DType value; the checker runs after the
+// hooks (it must see the fault) and before rounding (so its noise floor
+// is the float32 kernel, not the storage datatype). w and in are the
+// layer's weight and input row, which the checker needs to form the
+// expected checksum and recompute a flagged output.
+func (m *Model) finishLinear(ref LayerRef, pos int, w Weight, in, out []float32) {
 	m.runHooks(ref, pos, out)
+	if m.checker != nil {
+		m.checker.CheckLinear(ref, pos, w, in, out)
+	}
 	if m.Cfg.DType != numerics.FP32 {
 		dt := m.Cfg.DType
 		for i, v := range out {

@@ -94,9 +94,12 @@ func (st *State) Prefill(prompt []int) []float32 {
 
 	// finishRows applies finishLinear per position, preserving the
 	// per-position hook order of the sequential path within each layer.
-	finishRows := func(ref LayerRef, t *tensor.Tensor) {
+	// in is the input tensor the batched matmul consumed, row-aligned
+	// with the output — the checker verifies each position against the
+	// exact input row its GEMM used.
+	finishRows := func(ref LayerRef, w Weight, in, out *tensor.Tensor) {
 		for i := 0; i < n; i++ {
-			m.finishLinear(ref, base+i, t.Row(i))
+			m.finishLinear(ref, base+i, w, in.Row(i), out.Row(i))
 		}
 	}
 	normRows := func(t *tensor.Tensor, gain []float32) {
@@ -111,11 +114,11 @@ func (st *State) Prefill(prompt []int) []float32 {
 		normRows(H, blk.AttnNorm)
 
 		forwardRows(blk.Wq, Q, H, threads)
-		finishRows(LayerRef{bi, KindQ, -1}, Q)
+		finishRows(LayerRef{bi, KindQ, -1}, blk.Wq, H, Q)
 		forwardRows(blk.Wk, Kb, H, threads)
-		finishRows(LayerRef{bi, KindK, -1}, Kb)
+		finishRows(LayerRef{bi, KindK, -1}, blk.Wk, H, Kb)
 		forwardRows(blk.Wv, Vb, H, threads)
-		finishRows(LayerRef{bi, KindV, -1}, Vb)
+		finishRows(LayerRef{bi, KindV, -1}, blk.Wv, H, Vb)
 
 		for i := 0; i < n; i++ {
 			m.applyRoPE(Q.Row(i), base+i)
@@ -130,7 +133,7 @@ func (st *State) Prefill(prompt []int) []float32 {
 		}
 
 		forwardRows(blk.Wo, H, A, threads)
-		finishRows(LayerRef{bi, KindOut, -1}, H)
+		finishRows(LayerRef{bi, KindOut, -1}, blk.Wo, A, H)
 		X.AddInPlace(H)
 
 		// --- MLP / MoE sub-block ---
@@ -139,20 +142,20 @@ func (st *State) Prefill(prompt []int) []float32 {
 
 		if blk.Router != nil {
 			forwardRows(blk.Router, R, H, threads)
-			finishRows(LayerRef{bi, KindRouter, -1}, R)
+			finishRows(LayerRef{bi, KindRouter, -1}, blk.Router, H, R)
 			for i := 0; i < n; i++ {
 				m.moeMix(st, blk, bi, base+i, R.Row(i), H.Row(i), D.Row(i))
 			}
 		} else {
 			forwardRows(blk.MLP.WGate, FF1, H, threads)
-			finishRows(LayerRef{bi, KindGate, -1}, FF1)
+			finishRows(LayerRef{bi, KindGate, -1}, blk.MLP.WGate, H, FF1)
 			forwardRows(blk.MLP.WUp, FF2, H, threads)
-			finishRows(LayerRef{bi, KindUp, -1}, FF2)
+			finishRows(LayerRef{bi, KindUp, -1}, blk.MLP.WUp, H, FF2)
 			for i, g := range FF1.Data {
 				FFA.Data[i] = float32(float64(g)/(1+math.Exp(-float64(g)))) * FF2.Data[i]
 			}
 			forwardRows(blk.MLP.WDown, D, FFA, threads)
-			finishRows(LayerRef{bi, KindDown, -1}, D)
+			finishRows(LayerRef{bi, KindDown, -1}, blk.MLP.WDown, FFA, D)
 		}
 		X.AddInPlace(D)
 	}
@@ -163,13 +166,13 @@ func (st *State) Prefill(prompt []int) []float32 {
 		// position in the sequential path; keep that visible behaviour.
 		L := tensor.New(n, cfg.Vocab)
 		forwardRows(m.LMHead, L, X, threads)
-		finishRows(LayerRef{-1, KindLMHead, -1}, L)
+		finishRows(LayerRef{-1, KindLMHead, -1}, m.LMHead, X, L)
 		copy(st.logits, L.Row(n-1))
 	} else {
 		// Without hooks the intermediate logits are unobservable and
 		// immediately overwritten — compute only the final row.
 		m.LMHead.Forward(st.logits, X.Row(n-1))
-		m.finishLinear(LayerRef{-1, KindLMHead, -1}, base+n-1, st.logits)
+		m.finishLinear(LayerRef{-1, KindLMHead, -1}, base+n-1, m.LMHead, X.Row(n-1), st.logits)
 	}
 
 	st.Pos += n

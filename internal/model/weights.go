@@ -134,6 +134,12 @@ type Model struct {
 	// seqPrefill pins State.Prefill to the seed per-token reference loop;
 	// golden tests and before/after benchmarks flip it.
 	seqPrefill bool
+
+	// checker, when non-nil, verifies every linear-layer output after the
+	// forward hooks ran and before requantization (internal/abft). Like
+	// hooks, it is not copied by Clone/CloneShared: each campaign worker
+	// arms its own.
+	checker LinearChecker
 }
 
 // SetThreads bounds the worker goroutines batched prefill may use for its
@@ -167,6 +173,23 @@ type Hook func(ref LayerRef, step int, out []float32)
 
 // AddHook registers h; hooks run in registration order.
 func (m *Model) AddHook(h Hook) { m.hooks = append(m.hooks, h) }
+
+// LinearChecker verifies — and under a correcting policy may repair in
+// place — the output vector of a linear layer. CheckLinear runs after the
+// forward hooks (so it observes injected faults exactly as a deployed
+// detector would) and before requantization to the model datatype. in is
+// the input activation row the layer consumed; implementations must not
+// retain in or out past the call. Unlike Hook this carries the layer's
+// weight and input, which checksum-based detection (internal/abft) needs
+// to form the expected output checksum and to recompute a flagged row.
+type LinearChecker interface {
+	CheckLinear(ref LayerRef, pos int, w Weight, in, out []float32)
+}
+
+// SetChecker installs (nil removes) the model's linear checker. Exactly
+// one checker may be active; the campaign engine arms one per trial on
+// each worker's clone.
+func (m *Model) SetChecker(c LinearChecker) { m.checker = c }
 
 // ClearHooks removes all hooks.
 func (m *Model) ClearHooks() { m.hooks = nil }

@@ -1,0 +1,49 @@
+package numerics
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzHalfRoundTrip asserts the half-precision codecs are bijective on
+// non-NaN payloads: every 16-bit pattern that decodes to a non-NaN value
+// must encode back to the identical pattern. This is what fault injection
+// relies on — FlipBits XORs the encoded pattern, so a lossy round trip
+// would silently move the flip to a different value. NaN patterns are
+// excluded: both codecs canonicalize them to a quiet NaN by design.
+func FuzzHalfRoundTrip(f *testing.F) {
+	f.Add(uint16(0x0000))
+	f.Add(uint16(0x8000)) // -0
+	f.Add(uint16(0x7C00)) // FP16 +Inf
+	f.Add(uint16(0x7F80)) // BF16 +Inf
+	f.Add(uint16(0x0001)) // smallest subnormal
+	f.Add(uint16(0x03FF)) // largest FP16 subnormal
+	f.Add(uint16(0x0400)) // smallest FP16 normal
+	f.Add(uint16(0x7BFF)) // largest finite FP16
+	f.Add(uint16(0x7F7F)) // largest finite BF16
+	f.Add(uint16(0x3C00))
+	f.Add(uint16(0xC000))
+
+	f.Fuzz(func(t *testing.T, bits uint16) {
+		if v := DecodeFP16(bits); !math.IsNaN(float64(v)) {
+			if got := EncodeFP16(v); got != bits {
+				t.Errorf("FP16 %#04x -> %g -> %#04x", bits, v, got)
+			}
+		}
+		if v := DecodeBF16(bits); !math.IsNaN(float64(v)) {
+			if got := EncodeBF16(v); got != bits {
+				t.Errorf("BF16 %#04x -> %g -> %#04x", bits, v, got)
+			}
+		}
+		// The DType-level wrappers agree with the direct codecs.
+		for _, d := range []DType{FP16, BF16} {
+			v := Decode(d, uint32(bits))
+			if math.IsNaN(v) {
+				continue
+			}
+			if got := Encode(d, v); got != uint32(bits) {
+				t.Errorf("%v Decode/Encode %#04x -> %g -> %#x", d, bits, v, got)
+			}
+		}
+	})
+}

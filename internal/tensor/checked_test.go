@@ -1,0 +1,164 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/prng"
+)
+
+// checkedTol mirrors abft.DefaultTol without importing it: a relative
+// tolerance of 4·sqrt(k) float32 ulps for a length-k reduction.
+func checkedTol(k int) float64 {
+	return 4 * math.Sqrt(float64(k)) / (1 << 24)
+}
+
+// TestMatMulCheckedBitIdentical is the metamorphic property: adding the
+// checksum verification must not change a single output bit relative to
+// the unchecked kernel, for random shapes and worker counts, and a clean
+// multiply must never be flagged.
+func TestMatMulCheckedBitIdentical(t *testing.T) {
+	f := func(seed uint64, mr, kr, nr, wr uint8) bool {
+		m, k, n := int(mr%40)+1, int(kr%96)+1, int(nr%40)+1
+		workers := int(wr%8) + 1
+		src := prng.New(seed)
+		a := randTensor(src, m, k)
+		b := randTensor(src, k, n)
+
+		want := New(m, n)
+		MatMul(want, a, b)
+
+		got := New(m, n)
+		bad := MatMulChecked(got, a, b, workers, checkedTol(k))
+		if bad != nil {
+			t.Logf("clean multiply flagged rows %v (m=%d k=%d n=%d)", bad, m, k, n)
+			return false
+		}
+		for i := range got.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Logf("output differs at %d: %g vs %g", i, got.Data[i], want.Data[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCheckRowsFlagsEveryDetectableBit replays MatMulChecked's internals
+// with a single float32 bit flip injected between the kernel and the
+// verification, for every one of the 32 bit positions. The oracle is the
+// flip's own magnitude against the tolerance, with a 2x guard band on
+// each side so kernel accumulation noise cannot turn the predicate into
+// a tautology: flips at least twice the threshold must be flagged, flips
+// below half of it must not, and flips inside the ambiguous band are
+// exercised but not asserted on.
+func TestCheckRowsFlagsEveryDetectableBit(t *testing.T) {
+	const m, k, n = 4, 64, 48
+	src := prng.New(41)
+	a := randTensor(src, m, k)
+	b := randTensor(src, k, n)
+	clean := New(m, n)
+	MatMulP(clean, a, b, 2)
+	cs := NewChecksums(b)
+	tol := checkedTol(k)
+
+	const row, col = 1, 5
+	_, _, scale := cs.CheckRow(a.Row(row), clean.Row(row), tol)
+	threshold := tol * scale
+
+	asserted := 0
+	for bit := 0; bit < 32; bit++ {
+		out := clean.Clone()
+		orig := out.At(row, col)
+		flipped := math.Float32frombits(math.Float32bits(orig) ^ (1 << bit))
+		out.Set(row, col, flipped)
+
+		bad := cs.CheckRows(a, out, tol)
+		flagged := len(bad) == 1 && bad[0] == row
+		if len(bad) > 0 && !flagged {
+			t.Fatalf("bit %d: flagged rows %v, corrupted only row %d", bit, bad, row)
+		}
+
+		delta := math.Abs(float64(flipped) - float64(orig))
+		switch {
+		case math.IsNaN(delta) || math.IsInf(delta, 0):
+			if !flagged {
+				t.Errorf("bit %d: %g -> %v not flagged", bit, orig, flipped)
+			}
+			asserted++
+		case delta > 2*threshold:
+			if !flagged {
+				t.Errorf("bit %d: delta %.3g above 2x threshold %.3g not flagged", bit, delta, threshold)
+			}
+			asserted++
+		case delta < threshold/2:
+			if flagged {
+				t.Errorf("bit %d: delta %.3g below half threshold %.3g flagged", bit, delta, threshold)
+			}
+			asserted++
+		}
+	}
+	// With unit-scale normal data the ambiguous band is a narrow sliver of
+	// mantissa positions; most of the 32 bits must have decisive verdicts.
+	if asserted < 28 {
+		t.Fatalf("only %d/32 bit positions had decisive verdicts", asserted)
+	}
+}
+
+func TestCheckRowNonFiniteSemantics(t *testing.T) {
+	src := prng.New(7)
+	b := randTensor(src, 8, 6)
+	cs := NewChecksums(b)
+	x := make([]float32, 8)
+	for i := range x {
+		x[i] = float32(src.NormFloat64())
+	}
+	out := make([]float32, 6)
+	for j := 0; j < 6; j++ {
+		var s float32
+		for p := range x {
+			s += x[p] * b.At(p, j)
+		}
+		out[j] = s
+	}
+
+	if ok, _, _ := cs.CheckRow(x, out, checkedTol(8)); !ok {
+		t.Fatal("clean row rejected")
+	}
+
+	// NaN in the output with finite inputs: hard failure, infinite deviation.
+	bad := append([]float32(nil), out...)
+	bad[2] = float32(math.NaN())
+	ok, dev, _ := cs.CheckRow(x, bad, checkedTol(8))
+	if ok || !math.IsInf(dev, 1) {
+		t.Fatalf("NaN output: ok=%v dev=%g, want fail with +Inf", ok, dev)
+	}
+	bad[2] = float32(math.Inf(-1))
+	if ok, _, _ := cs.CheckRow(x, bad, checkedTol(8)); ok {
+		t.Fatal("Inf output passed")
+	}
+
+	// NaN on the input side: the corruption predates this GEMM, so the
+	// check passes vacuously rather than misattributing the fault here.
+	nx := append([]float32(nil), x...)
+	nx[0] = float32(math.NaN())
+	if ok, dev, _ := cs.CheckRow(nx, bad, checkedTol(8)); !ok || dev != 0 {
+		t.Fatalf("non-finite input: ok=%v dev=%g, want vacuous pass", ok, dev)
+	}
+
+	// All-zero input floors the scale at 1, so the threshold stays
+	// meaningful for an absolute comparison.
+	zero := make([]float32, 8)
+	zout := make([]float32, 6)
+	if ok, _, scale := cs.CheckRow(zero, zout, checkedTol(8)); !ok || scale != 1 {
+		t.Fatalf("zero row: ok=%v scale=%g, want pass with scale floor 1", ok, scale)
+	}
+	zout[0] = 1
+	if ok, _, _ := cs.CheckRow(zero, zout, checkedTol(8)); ok {
+		t.Fatal("nonzero output from zero input passed")
+	}
+}
