@@ -4,6 +4,7 @@
 //
 //	figures -fig fig3 -trials 500 -instances 20
 //	figures -fig table1 -progress
+//	figures -fig fig_propagation -trace prop.jsonl
 //	figures -all
 //	figures -list
 package main
@@ -19,9 +20,16 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/report"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run is main minus os.Exit, so the trace writer's deferred flush runs
+// on every path — including experiment errors and SIGINT.
+func run() int {
 	log.SetFlags(0)
 	fig := flag.String("fig", "", "experiment id to run (fig3..fig21, table1, table2)")
 	all := flag.Bool("all", false, "run every experiment")
@@ -32,6 +40,8 @@ func main() {
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	dir := flag.String("pretrained", "", "checkpoint directory (default: auto-locate)")
 	progress := flag.Bool("progress", false, "print a live per-campaign progress line to stderr")
+	tracePath := flag.String("trace", "", "write sampled propagation traces (JSONL) to this file")
+	traceN := flag.Int("trace-sample", 16, "with -trace: trace every N-th trial of each campaign")
 	flag.Parse()
 
 	cfg := experiments.Config{
@@ -40,6 +50,23 @@ func main() {
 	}
 	if *progress {
 		cfg.Progress = os.Stderr
+	}
+	if *tracePath != "" {
+		f, _, err := report.OpenTrace(*tracePath, false)
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		tw := report.NewTraceWriter(f)
+		cfg.TraceEvery = *traceN
+		cfg.TraceSink = tw.Write
+		defer func() {
+			if err := tw.Close(); err != nil {
+				log.Print(err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "figures: wrote %d trace records to %s\n", tw.Count(), *tracePath)
+		}()
 	}
 
 	// SIGINT cancels the running experiment's campaigns promptly.
@@ -53,29 +80,34 @@ func main() {
 		}
 	case *all:
 		for _, e := range experiments.All() {
-			runOne(ctx, e, cfg)
+			if code := runOne(ctx, e, cfg); code != 0 {
+				return code
+			}
 		}
 	case *fig != "":
 		e, err := experiments.Get(*fig)
 		if err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return 1
 		}
-		runOne(ctx, e, cfg)
+		return runOne(ctx, e, cfg)
 	default:
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
+	return 0
 }
 
-func runOne(ctx context.Context, e experiments.Experiment, cfg experiments.Config) {
+func runOne(ctx context.Context, e experiments.Experiment, cfg experiments.Config) int {
 	start := time.Now()
 	out, err := e.Run(ctx, cfg)
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
 			fmt.Fprintf(os.Stderr, "figures: %s interrupted\n", e.ID)
-			os.Exit(130)
+			return 130
 		}
-		log.Fatalf("%s: %v", e.ID, err)
+		log.Printf("%s: %v", e.ID, err)
+		return 1
 	}
 	fmt.Printf("\n================ %s — %s (%s) ================\n\n", out.ID, e.Title, e.PaperRef)
 	fmt.Println(out.Text)
@@ -86,4 +118,5 @@ func runOne(ctx context.Context, e experiments.Experiment, cfg experiments.Confi
 		}
 	}
 	fmt.Printf("(%.1fs)\n", time.Since(start).Seconds())
+	return 0
 }

@@ -23,6 +23,14 @@
 //
 //	llmfi -suite wmt16-like -model QwenS -fault 2bits-comp -abft
 //	llmfi -suite wmt16-like -model moe -fault 2bits-mem -abft -abft-policy correct-skip
+//
+// The observability layer: -trace exports sampled propagation traces
+// (JSONL, one trace.Record per line; -trace-sample sets the stride),
+// and -http serves /metrics (Prometheus), /healthz, /trials and
+// net/http/pprof while the campaign runs:
+//
+//	llmfi -suite wmt16-like -model QwenS -fault 2bits-comp -trace traces.jsonl -trace-sample 16
+//	llmfi -suite wmt16-like -model QwenS -trials 5000 -progress -http :9090
 package main
 
 import (
@@ -32,6 +40,8 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -57,6 +67,8 @@ examples:
   llmfi -suite gsm8k -model math-qwens -telemetry tel.json
   llmfi -suite wmt16-like -model QwenS -fault 2bits-comp -abft
   llmfi -suite wmt16-like -model moe -fault 2bits-mem -abft -abft-policy correct-skip
+  llmfi -suite wmt16-like -model QwenS -fault 2bits-comp -trace traces.jsonl -trace-sample 16
+  llmfi -suite wmt16-like -model QwenS -trials 5000 -progress -http :9090
   llmfi -list
 `
 
@@ -87,6 +99,9 @@ func main() {
 		list      = flag.Bool("list", false, "list suites and models")
 		csvTrials = flag.String("csv", "", "write per-trial results to this CSV file")
 		csvSum    = flag.String("csv-summary", "", "write the aggregate summary to this CSV file")
+		tracePath = flag.String("trace", "", "write sampled propagation traces (JSONL) to this file")
+		traceN    = flag.Int("trace-sample", 16, "with -trace: trace every N-th trial (1 = all)")
+		httpAddr  = flag.String("http", "", "serve /metrics, /healthz, /trials and /debug/pprof on this address (e.g. :9090)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: llmfi [flags]\n\nflags:\n")
@@ -169,15 +184,50 @@ func main() {
 		ropts = append(ropts, core.WithResumeFrom(ck))
 	}
 
+	// Trace export: a fresh campaign truncates the file, a resumed one
+	// appends — the interrupted run's records stay valid (resumed trials
+	// never re-execute, so appending cannot duplicate a trial).
+	var traceW *report.TraceWriter
+	if *tracePath != "" {
+		f, appended, err := report.OpenTrace(*tracePath, *resume != "")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if appended {
+			fmt.Fprintf(os.Stderr, "llmfi: appending traces to existing %s (resume)\n", *tracePath)
+		}
+		traceW = report.NewTraceWriter(f)
+		ropts = append(ropts, core.WithTrace(*traceN, traceW.Write))
+	}
+
 	label := fmt.Sprintf("%s/%s/%v", c.Suite.Name, c.Model.Cfg.Name, c.Fault)
+
+	var srv *report.Server
+	if *httpAddr != "" {
+		srv = report.NewServer(label, tel)
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go hs.Serve(ln)
+		defer hs.Close()
+		fmt.Fprintf(os.Stderr, "llmfi: serving /metrics /healthz /trials /debug/pprof on http://%s\n", ln.Addr())
+	}
+
 	var final core.CampaignDone
+	var lastProg core.Progress
 	for ev := range core.NewRunner(c, ropts...).Stream(ctx) {
+		if srv != nil {
+			srv.Observe(ev)
+		}
 		switch e := ev.(type) {
 		case core.BaselineReady:
 			if *progress {
 				fmt.Fprintf(os.Stderr, "llmfi: baseline ready (%d instances)\n", len(e.Baseline.Instances))
 			}
 		case core.Progress:
+			lastProg = e
 			if *progress {
 				fmt.Fprintf(os.Stderr, "\r%-100s", report.ProgressLine(label, e))
 			}
@@ -186,7 +236,21 @@ func main() {
 		}
 	}
 	if *progress {
+		// Clear the carriage-return line, then leave a durable summary in
+		// the scrollback (the CR line would be clobbered by whatever
+		// prints next — e.g. the detection summary).
 		fmt.Fprintf(os.Stderr, "\r%-100s\r", "")
+		if lastProg.Total > 0 {
+			fmt.Fprintln(os.Stderr, report.SummaryLine(label, lastProg))
+		}
+	}
+	if traceW != nil {
+		n := traceW.Count()
+		if err := traceW.Close(); err != nil {
+			log.Print(err)
+		} else {
+			fmt.Fprintf(os.Stderr, "llmfi: wrote %d trace records to %s\n", n, *tracePath)
+		}
 	}
 
 	if *telemetry != "" {

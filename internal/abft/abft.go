@@ -20,6 +20,7 @@ package abft
 
 import (
 	"math"
+	"time"
 
 	"repro/internal/mitigate"
 	"repro/internal/model"
@@ -101,6 +102,7 @@ type Checker struct {
 	events  []Event
 	stats   Stats
 	scratch []float32
+	mitTime time.Duration
 }
 
 type layerSums struct {
@@ -178,7 +180,14 @@ func (c *Checker) newLayerSums(w model.Weight) layerSums {
 func (c *Checker) Reset() {
 	c.events = c.events[:0]
 	c.stats = Stats{}
+	c.mitTime = 0
 }
+
+// MitigationTime returns the wall time spent inside the mitigation
+// escalation (recompute, verify, fallback) since the last Reset. The
+// telemetry layer subtracts it from the checker span so detection cost
+// and repair cost report as separate phases.
+func (c *Checker) MitigationTime() time.Duration { return c.mitTime }
 
 // Events returns the flagged checks since the last Reset. The slice is
 // reused; copy it to retain past Reset.
@@ -207,12 +216,14 @@ func (c *Checker) CheckLinear(ref model.LayerRef, pos int, w model.Weight, in, o
 		if cap(c.scratch) < len(out) {
 			c.scratch = make([]float32, len(out))
 		}
+		mitStart := time.Now()
 		ev.Action = mitigate.Respond(c.cfg.Policy, out, c.scratch[:len(out)],
 			func(dst []float32) { w.Forward(dst, in) },
 			func(cand []float32) bool {
 				ok, _, _ := ls.cs.CheckRow(in, cand, ls.tol)
 				return ok
 			})
+		c.mitTime += time.Since(mitStart)
 		switch ev.Action {
 		case mitigate.ActionCorrect:
 			c.stats.Corrected++

@@ -8,11 +8,13 @@ package core
 import (
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/gen"
 	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/tasks"
+	"repro/internal/trace"
 )
 
 // AnswerChecker decides whether a generated token sequence answers an
@@ -107,6 +109,11 @@ type InstanceBaseline struct {
 	// iteration lies past the prompt). Baseline-only; nil after Rerun.
 	prefix       *model.State
 	prefixLogits []float32
+	// capture holds the instance's clean per-layer activations when the
+	// runner traces the campaign: the propagation probes of sampled
+	// trials diff against it, so tracing never re-runs a clean forward.
+	// Sealed (read-only) before workers start.
+	capture *trace.Capture
 }
 
 // Baseline is the fault-free evaluation of a suite on a model.
@@ -125,6 +132,14 @@ type Baseline struct {
 // EvalBaseline runs the suite fault-free on m with the given generation
 // settings (NumBeams etc.; MaxNewTokens is set per instance).
 func EvalBaseline(m *model.Model, suite *tasks.Suite, gs gen.Settings, check AnswerChecker) *Baseline {
+	return evalBaseline(m, suite, gs, check, nil)
+}
+
+// evalBaseline is EvalBaseline plus optional activation capture: when
+// capMinPos is non-nil, each instance's clean per-layer outputs from
+// position capMinPos(inst) onward are recorded (via a temporary hook on
+// m) into InstanceBaseline.capture for the propagation probes.
+func evalBaseline(m *model.Model, suite *tasks.Suite, gs gen.Settings, check AnswerChecker, capMinPos func(inst *tasks.Instance) int) *Baseline {
 	if check == nil {
 		check = DefaultChecker(suite)
 	}
@@ -132,7 +147,17 @@ func EvalBaseline(m *model.Model, suite *tasks.Suite, gs gen.Settings, check Ans
 	goldHits := 0
 	for i := range suite.Instances {
 		inst := &suite.Instances[i]
-		ib := evalInstance(m, suite, inst, gs, check, true, true)
+		var cc *trace.Capture
+		if capMinPos != nil {
+			cc = trace.NewCapture(capMinPos(inst))
+			m.AddHook(cc.Hook())
+		}
+		ib := evalInstance(m, suite, inst, gs, check, true, true, nil)
+		if cc != nil {
+			m.PopHook()
+			cc.Seal()
+			ib.capture = cc
+		}
 		b.Instances = append(b.Instances, ib)
 		if ib.AnswerOK {
 			goldHits++
@@ -154,11 +179,19 @@ func EvalBaseline(m *model.Model, suite *tasks.Suite, gs gen.Settings, check Ans
 // selfRefOK makes an empty instance reference count as a correct answer
 // (fault-free runs define the reference). snap additionally captures the
 // post-prompt state and logits into the returned baseline so later trials
-// can resume from the shared prefix.
-func evalInstance(m *model.Model, suite *tasks.Suite, inst *tasks.Instance, gs gen.Settings, check AnswerChecker, selfRefOK, snap bool) InstanceBaseline {
+// can resume from the shared prefix. sp, when non-nil, receives the
+// phase timings (prefill/decode/classify) of the run.
+func evalInstance(m *model.Model, suite *tasks.Suite, inst *tasks.Instance, gs gen.Settings, check AnswerChecker, selfRefOK, snap bool, sp *spanTimes) InstanceBaseline {
 	var ib InstanceBaseline
 	if suite.Type == tasks.MultipleChoice {
+		decodeStart := time.Now()
 		choice, _ := gen.ChooseOption(m, inst.Prompt, inst.Options)
+		if sp != nil {
+			// Option scoring interleaves prefill and scoring passes; the
+			// whole evaluation reports as one decode span (steps 0, so no
+			// per-token observation is derived).
+			sp.decode += time.Since(decodeStart)
+		}
 		ib.Choice = choice
 		ib.AnswerOK = choice == inst.Gold
 		ib.Metrics = map[metrics.Kind]float64{metrics.KindAccuracy: b2f(ib.AnswerOK)}
@@ -171,21 +204,34 @@ func evalInstance(m *model.Model, suite *tasks.Suite, inst *tasks.Instance, gs g
 	st := m.NewState()
 	// Expert-trace comparison is only defined for the single-path greedy
 	// mode used by the MoE study (beam search forks states).
-	trace := m.Cfg.IsMoE() && gs.NumBeams <= 1
-	if trace {
+	expertTrace := m.Cfg.IsMoE() && gs.NumBeams <= 1
+	if expertTrace {
 		st.EnableExpertTrace()
 	}
+	prefillStart := time.Now()
 	logits := st.Prefill(inst.Prompt)
+	if sp != nil {
+		sp.prefill += time.Since(prefillStart)
+	}
 	if snap {
 		ib.prefix = st.Fork()
 		ib.prefixLogits = append([]float32(nil), logits...)
 	}
+	decodeStart := time.Now()
 	res := gen.GenerateFrom(m, st, logits, gs)
+	if sp != nil {
+		sp.decode += time.Since(decodeStart)
+		sp.steps = res.Steps
+	}
 	res.Steps += len(inst.Prompt)
-	if trace {
+	if expertTrace {
 		ib.ExpertTrace = st.ExpertTrace
 	}
+	classifyStart := time.Now()
 	finishGenerative(&ib, suite, inst, res, check, selfRefOK)
+	if sp != nil {
+		sp.classify += time.Since(classifyStart)
+	}
 	return ib
 }
 
@@ -216,7 +262,7 @@ func finishGenerative(ib *InstanceBaseline, suite *tasks.Suite, inst *tasks.Inst
 // interesting trials through this to show example outputs (Figures 7,
 // 12, 15).
 func RerunInstance(m *model.Model, suite *tasks.Suite, inst *tasks.Instance) string {
-	ib := evalInstance(m, suite, inst, defaultGen(), DefaultChecker(suite), false, false)
+	ib := evalInstance(m, suite, inst, defaultGen(), DefaultChecker(suite), false, false, nil)
 	if suite.Type == tasks.MultipleChoice {
 		return suite.Vocab.DecodeAll(inst.Options[ib.Choice])
 	}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/numerics"
 	"repro/internal/tasks"
+	"repro/internal/trace"
 )
 
 // benchCase builds the benchmark workload: a long-prompt generative
@@ -235,5 +236,69 @@ func TestEmitABFTBenchJSON(t *testing.T) {
 		off, site, all, 100*report.AllLayersOverhead, det.Recall(), expRecall, det.FalsePositives)
 	if report.AllLayersOverhead > 0.25 {
 		t.Errorf("all-layer checking overhead %.1f%% exceeds the 25%% budget", 100*report.AllLayersOverhead)
+	}
+}
+
+// TestEmitTraceBenchJSON measures the tracing layer's campaign cost —
+// tracing off vs sampled (every 16th trial, the -trace-sample default)
+// vs full (every trial) — written to BENCH_4.json. Gated behind
+// BENCH4_JSON_OUT so it only runs from `make bench`. Acceptance: sampled
+// tracing costs <= 5% of the untraced throughput.
+func TestEmitTraceBenchJSON(t *testing.T) {
+	out := os.Getenv("BENCH4_JSON_OUT")
+	if out == "" {
+		t.Skip("set BENCH4_JSON_OUT to emit the tracing benchmark JSON")
+	}
+
+	discard := func(trace.Record) error { return nil }
+	run := func(opts ...RunnerOption) float64 {
+		c := benchCase(false)
+		start := time.Now()
+		if _, err := NewRunner(c, opts...).Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		return float64(c.Trials) / time.Since(start).Seconds()
+	}
+
+	run() // warmup
+
+	// Interleave repetitions and keep each arm's best throughput, as in
+	// the ABFT benchmark: allocator growth and clock drift must not read
+	// as tracing overhead on this sub-second workload.
+	var off, sampled, full float64
+	for rep := 0; rep < 4; rep++ {
+		off = math.Max(off, run())
+		sampled = math.Max(sampled, run(WithTrace(16, discard)))
+		full = math.Max(full, run(WithTrace(1, discard)))
+	}
+
+	report := struct {
+		Workload        string  `json:"workload"`
+		Trials          int     `json:"trials"`
+		Off             float64 `json:"trace_off_trials_per_sec"`
+		Sampled         float64 `json:"trace_sampled_trials_per_sec"`
+		Full            float64 `json:"trace_full_trials_per_sec"`
+		SampledOverhead float64 `json:"sampled_overhead_frac"`
+		FullOverhead    float64 `json:"full_overhead_frac"`
+	}{
+		Workload:        "selfref generative, 120-token prompts, comp-2bit",
+		Trials:          benchCase(false).Trials,
+		Off:             off,
+		Sampled:         sampled,
+		Full:            full,
+		SampledOverhead: (off - sampled) / off,
+		FullOverhead:    (off - full) / off,
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("off=%.2f sampled=%.2f full=%.2f trials/s (sampled overhead %.1f%%, full %.1f%%)",
+		off, sampled, full, 100*report.SampledOverhead, 100*report.FullOverhead)
+	if report.SampledOverhead > 0.05 {
+		t.Errorf("sampled tracing overhead %.1f%% exceeds the 5%% budget", 100*report.SampledOverhead)
 	}
 }

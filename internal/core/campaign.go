@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/abft"
 	"repro/internal/faults"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/prng"
 	"repro/internal/tasks"
 	"repro/internal/token"
+	"repro/internal/trace"
 )
 
 // Campaign describes one statistical fault-injection configuration: a
@@ -181,9 +183,71 @@ func (c Campaign) Run(ctx context.Context) (*Result, error) {
 	return NewRunner(c).Run(ctx)
 }
 
+// spanTimes accumulates one trial's phase timings. The worker observes
+// them into the telemetry histograms after the trial completes, and a
+// traced trial additionally exports them as Record.Spans.
+type spanTimes struct {
+	prefill  time.Duration
+	decode   time.Duration
+	classify time.Duration
+	abft     time.Duration
+	mitigate time.Duration
+	// steps is the decode-step count behind the decode span (0 for
+	// multiple-choice scoring, where per-token timing is undefined).
+	steps int
+	// abftOn marks that a checker ran, so zero-duration check spans are
+	// still meaningful observations.
+	abftOn bool
+}
+
+// spans renders the accumulated timings as trace spans.
+func (sp *spanTimes) spans() []trace.Span {
+	s := []trace.Span{
+		{Phase: trace.PhasePrefill, Seconds: sp.prefill.Seconds()},
+		{Phase: trace.PhaseDecode, Seconds: sp.decode.Seconds(), Count: sp.steps},
+	}
+	if sp.steps > 0 {
+		s = append(s, trace.Span{
+			Phase:   trace.PhaseDecodeToken,
+			Seconds: sp.decode.Seconds() / float64(sp.steps),
+			Count:   sp.steps,
+		})
+	}
+	if sp.abftOn {
+		s = append(s,
+			trace.Span{Phase: trace.PhaseABFTCheck, Seconds: sp.abft.Seconds()},
+			trace.Span{Phase: trace.PhaseMitigate, Seconds: sp.mitigate.Seconds()})
+	}
+	return append(s, trace.Span{Phase: trace.PhaseClassify, Seconds: sp.classify.Seconds()})
+}
+
+// trialInstr carries the runner's per-trial instrumentation decisions
+// into runTrial: whether this trial is propagation-traced and at what
+// divergence tolerance.
+type trialInstr struct {
+	traced bool
+	tol    float64
+}
+
+// timedChecker wraps the worker's LinearChecker to measure total time
+// inside checks; the mitigation share is recovered from the inner
+// checker's own clock so detection and repair report as separate phases.
+type timedChecker struct {
+	inner model.LinearChecker
+	total time.Duration
+}
+
+func (tc *timedChecker) CheckLinear(ref model.LayerRef, pos int, w model.Weight, in, out []float32) {
+	start := time.Now()
+	tc.inner.CheckLinear(ref, pos, w, in, out)
+	tc.total += time.Since(start)
+}
+
 // runTrial performs one injection on the worker's model clone. checker is
 // the worker's ABFT detector (nil when the campaign runs without one).
-func (c Campaign) runTrial(wm *model.Model, sampler *faults.Sampler, src *prng.Source, t int, baseline *Baseline, gs gen.Settings, check AnswerChecker, checker *abft.Checker) (Trial, error) {
+// sp receives the trial's phase timings; a non-nil Record is returned
+// when instr requested tracing.
+func (c Campaign) runTrial(wm *model.Model, sampler *faults.Sampler, src *prng.Source, t int, baseline *Baseline, gs gen.Settings, check AnswerChecker, checker *abft.Checker, instr trialInstr, sp *spanTimes) (Trial, *trace.Record, error) {
 	idx := t % len(c.Suite.Instances)
 	inst := c.Suite.Instances[idx]
 	base := &baseline.Instances[idx]
@@ -196,6 +260,20 @@ func (c Campaign) runTrial(wm *model.Model, sampler *faults.Sampler, src *prng.S
 	maxIters, promptLen := c.faultWindow(&inst, base)
 	site := sampler.Sample(src, c.Fault, maxIters)
 
+	// strikePos is the absolute token position a transient fault fires at;
+	// resident (memory) faults are live everywhere (-1).
+	strikePos := -1
+	if !c.Fault.IsMemory() && c.Suite.Type != tasks.MultipleChoice {
+		strikePos = promptLen + site.GenIter
+	}
+	var probe *trace.Probe
+	if instr.traced && base.capture != nil {
+		probe = trace.NewProbe(base.capture, trace.ProbeConfig{
+			Tol: instr.tol, StrikePos: strikePos, Site: site.Layer,
+		})
+	}
+
+	var timed *timedChecker
 	if checker != nil {
 		// Checksums must snapshot clean weights, so Protect precedes Arm.
 		var perr error
@@ -205,26 +283,33 @@ func (c Campaign) runTrial(wm *model.Model, sampler *faults.Sampler, src *prng.S
 			perr = checker.Protect(wm, site.Layer)
 		}
 		if perr != nil {
-			return Trial{}, &TrialError{Index: t, Site: site, Err: perr}
+			return Trial{}, nil, &TrialError{Index: t, Site: site, Err: perr}
 		}
 		checker.Reset()
-		wm.SetChecker(checker)
+		timed = &timedChecker{inner: checker}
+		wm.SetChecker(timed)
+		sp.abftOn = true
 	}
 
 	inj, err := faults.Arm(wm, site, promptLen)
 	if err != nil {
 		wm.SetChecker(nil)
-		return Trial{}, &TrialError{Index: t, Site: site, Err: err}
+		return Trial{}, nil, &TrialError{Index: t, Site: site, Err: err}
 	}
 	if c.ExtraHook != nil {
 		// Mitigations observe values after the fault hook mutated them.
 		wm.AddHook(c.ExtraHook())
 	}
+	if probe != nil {
+		// The probe observes last — after the fault and any mitigation
+		// hook have mutated the row — and never modifies it.
+		wm.AddHook(probe.Hook())
+	}
 	var ib InstanceBaseline
 	if c.reusePrefix(base) {
-		ib = c.resumeInstance(wm, base, &inst, gs, check)
+		ib = c.resumeInstance(wm, base, &inst, gs, check, sp)
 	} else {
-		ib = evalInstance(wm, c.Suite, &inst, gs, check, false, false)
+		ib = evalInstance(wm, c.Suite, &inst, gs, check, false, false, sp)
 	}
 	fired := inj.Fired
 	inj.Disarm()
@@ -241,22 +326,52 @@ func (c Campaign) runTrial(wm *model.Model, sampler *faults.Sampler, src *prng.S
 	}
 	if checker != nil {
 		wm.SetChecker(nil)
+		sp.mitigate = checker.MitigationTime()
+		sp.abft = timed.total - sp.mitigate
+		classifyStart := time.Now()
 		trial.Detection = summarizeDetection(checker, site, promptLen, fired)
+		sp.classify += time.Since(classifyStart)
 	}
+	classifyStart := time.Now()
 	if c.Suite.Type == tasks.MultipleChoice {
 		masked := ib.Choice == base.Choice
 		trial.Outcome = outcome.Analysis{Changed: !masked}
 		if !masked {
 			trial.Outcome.Class = outcome.SDCSubtle
 		}
-		return trial, nil
+	} else {
+		trial.Outcome = outcome.Classify(ib.Tokens, base.Tokens, ib.AnswerOK, c.Thresholds)
+		if wm.Cfg.IsMoE() && gs.NumBeams <= 1 {
+			trial.ExpertChanged = !expertTraceEqual(ib.ExpertTrace, base.ExpertTrace)
+		}
 	}
+	sp.classify += time.Since(classifyStart)
 
-	trial.Outcome = outcome.Classify(ib.Tokens, base.Tokens, ib.AnswerOK, c.Thresholds)
-	if wm.Cfg.IsMoE() && gs.NumBeams <= 1 {
-		trial.ExpertChanged = !expertTraceEqual(ib.ExpertTrace, base.ExpertTrace)
+	var rec *trace.Record
+	if instr.traced {
+		rec = &trace.Record{
+			Schema:     trace.SchemaVersion,
+			Trial:      t,
+			Instance:   idx,
+			Fault:      site.Fault.String(),
+			Site:       site.String(),
+			Layer:      site.Layer.String(),
+			Block:      site.Layer.Block,
+			Bits:       site.Bits,
+			HighestBit: site.HighestBit(),
+			GenIter:    site.GenIter,
+			StrikePos:  strikePos,
+			Fired:      fired,
+			Outcome:    trial.Outcome.Class.String(),
+			AnswerOK:   trial.AnswerOK,
+			Steps:      trial.Steps,
+		}
+		if probe != nil {
+			probe.Fill(rec)
+		}
+		rec.Spans = sp.spans()
 	}
-	return trial, nil
+	return trial, rec, nil
 }
 
 // reusePrefix reports whether a trial may resume from the baseline's
@@ -280,20 +395,34 @@ func (c Campaign) reusePrefix(base *InstanceBaseline) bool {
 // continues from a private copy of the snapshot logits — both decode
 // strategies mask logits in place, so the shared slice must not be handed
 // over directly.
-func (c Campaign) resumeInstance(wm *model.Model, base *InstanceBaseline, inst *tasks.Instance, gs gen.Settings, check AnswerChecker) InstanceBaseline {
+func (c Campaign) resumeInstance(wm *model.Model, base *InstanceBaseline, inst *tasks.Instance, gs gen.Settings, check AnswerChecker, sp *spanTimes) InstanceBaseline {
 	var ib InstanceBaseline
 	gs.MaxNewTokens = inst.MaxNew
 	gs.MinNewTokens = inst.MinNew
+	prefillStart := time.Now()
 	st := base.prefix.ForkFor(wm)
 	logits := append([]float32(nil), base.prefixLogits...)
+	if sp != nil {
+		// The fork stands in for prefill on this path.
+		sp.prefill += time.Since(prefillStart)
+	}
+	decodeStart := time.Now()
 	res := gen.GenerateFrom(wm, st, logits, gs)
+	if sp != nil {
+		sp.decode += time.Since(decodeStart)
+		sp.steps = res.Steps
+	}
 	// Steps is the runtime proxy for the modeled inference, which still
 	// includes the prompt the snapshot stands in for.
 	res.Steps += len(inst.Prompt)
 	if wm.Cfg.IsMoE() && gs.NumBeams <= 1 {
 		ib.ExpertTrace = st.ExpertTrace
 	}
+	classifyStart := time.Now()
 	finishGenerative(&ib, c.Suite, inst, res, check, false)
+	if sp != nil {
+		sp.classify += time.Since(classifyStart)
+	}
 	return ib
 }
 

@@ -11,6 +11,11 @@ import (
 // produced it. Two campaigns with equal fingerprints sample identical
 // injection sites and produce bit-identical trials (per-trial Split(t)
 // seeding), so resuming across them is sound.
+//
+// Tracing (Runner.WithTrace) is deliberately not part of the
+// fingerprint: probes observe trials without altering them, so a
+// resumed campaign may turn tracing on, off, or change its sampling
+// stride — only the trace file's coverage changes, never the Result.
 type Fingerprint struct {
 	// Model and Suite are the human-readable identity half.
 	Model string

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/outcome"
+	"repro/internal/trace"
 )
 
 // Event is one item of a campaign's live event stream (Runner.Stream).
@@ -27,6 +28,10 @@ type TrialDone struct {
 	// Worker identifies the pool worker that ran the trial.
 	Worker int
 	Trial  Trial
+	// Trace is the trial's propagation record when the runner traced it
+	// (WithTrace sampling); nil otherwise. It is not part of Result — the
+	// trace sink and the event stream are its only outlets.
+	Trace *trace.Record
 }
 
 // Progress is a periodic aggregate snapshot of a running campaign,

@@ -10,6 +10,8 @@ import (
 	"repro/internal/faults"
 	"repro/internal/model"
 	"repro/internal/prng"
+	"repro/internal/tasks"
+	"repro/internal/trace"
 )
 
 // Runner executes a Campaign with the full production runtime:
@@ -32,6 +34,10 @@ type Runner struct {
 	resume    *Checkpoint
 	tel       *Telemetry
 	progEvery int
+
+	traceEvery int
+	traceSink  func(trace.Record) error
+	traceTol   float64
 }
 
 // RunnerOption configures a Runner.
@@ -67,6 +73,31 @@ func WithTelemetry(t *Telemetry) RunnerOption {
 // events (default 1: one per trial).
 func WithProgressEvery(n int) RunnerOption {
 	return func(r *Runner) { r.progEvery = n }
+}
+
+// WithTrace enables propagation tracing: every n-th trial (n=1 traces
+// all) runs with a probe that diffs its layer activations against the
+// instance's clean baseline capture, and the resulting trace.Record is
+// delivered to sink (may be nil — records still ride TrialDone events)
+// from the collector goroutine, in completion order. A sink error stops
+// the campaign.
+//
+// Tracing is observational: it never alters trial outcomes, and is
+// deliberately excluded from the checkpoint fingerprint — a resumed
+// campaign may change its tracing configuration freely. It is
+// automatically disabled for multiple-choice suites and beam search,
+// whose forked decode states have no per-position clean reference.
+func WithTrace(n int, sink func(trace.Record) error) RunnerOption {
+	return func(r *Runner) {
+		r.traceEvery = n
+		r.traceSink = sink
+	}
+}
+
+// WithTraceTol overrides the relative-L2 divergence tolerance of the
+// propagation probes (default trace.DefaultTol).
+func WithTraceTol(tol float64) RunnerOption {
+	return func(r *Runner) { r.traceTol = tol }
 }
 
 // NewRunner wraps a Campaign in the streaming runtime.
@@ -133,6 +164,7 @@ type trialResult struct {
 	index  int
 	worker int
 	trial  Trial
+	rec    *trace.Record
 	busy   time.Duration
 	err    error
 }
@@ -178,10 +210,32 @@ func (r *Runner) run(ctx context.Context, emit func(Event)) (*Result, error) {
 		}
 	}
 
+	// Tracing eligibility: probes need a per-position clean reference, so
+	// multiple-choice scoring (positions restart per option) and beam
+	// search (forked decode states) run untraced.
+	traceOn := r.traceEvery > 0 &&
+		c.Suite.Type != tasks.MultipleChoice && gs.NumBeams <= 1
+	traceTol := r.traceTol
+	if traceTol <= 0 {
+		traceTol = trace.DefaultTol
+	}
+
 	if c.ExtraHook != nil {
 		c.Model.AddHook(c.ExtraHook())
 	}
-	baseline := EvalBaseline(c.Model, c.Suite, gs, check)
+	var capMinPos func(inst *tasks.Instance) int
+	if traceOn {
+		// Transient computational faults strike only during decode, so
+		// prompt-position activations are dead weight; a resident memory
+		// fault corrupts the prefill too, so everything is captured.
+		capMinPos = func(inst *tasks.Instance) int {
+			if c.Fault.IsMemory() {
+				return 0
+			}
+			return len(inst.Prompt)
+		}
+	}
+	baseline := evalBaseline(c.Model, c.Suite, gs, check, capMinPos)
 	if c.ExtraHook != nil {
 		c.Model.ClearHooks()
 	}
@@ -190,6 +244,7 @@ func (r *Runner) run(ctx context.Context, emit func(Event)) (*Result, error) {
 	res := &Result{Campaign: c, Baseline: baseline, Trials: make([]Trial, c.Trials)}
 	completed := make([]bool, c.Trials)
 	done := 0
+	var restored []Trial
 	if r.resume != nil {
 		for i, t := range r.resume.Indices {
 			if t < 0 || t >= c.Trials || completed[t] {
@@ -198,6 +253,7 @@ func (r *Runner) run(ctx context.Context, emit func(Event)) (*Result, error) {
 			res.Trials[t] = r.resume.Trials[i]
 			completed[t] = true
 			done++
+			restored = append(restored, r.resume.Trials[i])
 		}
 	}
 	pending := make([]int, 0, c.Trials-done)
@@ -215,6 +271,10 @@ func (r *Runner) run(ctx context.Context, emit func(Event)) (*Result, error) {
 		workers = len(pending)
 	}
 	r.tel.begin(c.Trials, workers)
+	// Fold checkpointed trials into the cumulative counters so tallies
+	// and fired rates survive a resume; the throughput rate still counts
+	// only this run's executed trials.
+	r.tel.restore(restored)
 
 	if len(pending) == 0 {
 		// Fully-resumed campaign: nothing to execute.
@@ -278,8 +338,13 @@ func (r *Runner) run(ctx context.Context, emit func(Event)) (*Result, error) {
 				if runCtx.Err() != nil {
 					return
 				}
+				instr := trialInstr{
+					traced: traceOn && t%r.traceEvery == 0,
+					tol:    traceTol,
+				}
+				sp := &spanTimes{}
 				start := time.Now()
-				trial, err := c.runTrial(wm, sampler, seedSrc.Split(uint64(t)), t, baseline, gs, check, checker)
+				trial, rec, err := c.runTrial(wm, sampler, seedSrc.Split(uint64(t)), t, baseline, gs, check, checker, instr, sp)
 				if err != nil {
 					// First failure cancels the pool; the collector
 					// surfaces it through the event stream immediately.
@@ -287,7 +352,8 @@ func (r *Runner) run(ctx context.Context, emit func(Event)) (*Result, error) {
 					cancel()
 					return
 				}
-				results <- trialResult{index: t, worker: worker, trial: trial, busy: time.Since(start)}
+				r.tel.observeSpans(sp)
+				results <- trialResult{index: t, worker: worker, trial: trial, rec: rec, busy: time.Since(start)}
 			}
 		}(w)
 	}
@@ -312,7 +378,18 @@ func (r *Runner) run(ctx context.Context, emit func(Event)) (*Result, error) {
 		done++
 		sinceCkpt++
 		r.tel.record(tr.worker, tr.trial, tr.busy)
-		emit(TrialDone{Index: tr.index, Worker: tr.worker, Trial: tr.trial})
+		if tr.rec != nil {
+			r.tel.tracedTrial()
+			if r.traceSink != nil {
+				if err := r.traceSink(*tr.rec); err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					cancel()
+				}
+			}
+		}
+		emit(TrialDone{Index: tr.index, Worker: tr.worker, Trial: tr.trial, Trace: tr.rec})
 		if done%r.progEvery == 0 || done == c.Trials {
 			emit(r.tel.progress(done, c.Trials))
 		}

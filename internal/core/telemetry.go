@@ -1,12 +1,60 @@
 package core
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/outcome"
+	"repro/internal/trace"
 )
+
+// nPhaseBuckets is the finite bucket count of the per-phase latency
+// histograms; one overflow bucket (+Inf) follows.
+const nPhaseBuckets = 22
+
+// phaseBucketBounds are the inclusive upper bounds (seconds) of the
+// latency buckets: exponential, 1µs doubling up to ~2s — wide enough to
+// straddle everything from a prefix-fork (microseconds) to a full
+// long-prompt prefill.
+var phaseBucketBounds = func() []float64 {
+	b := make([]float64, nPhaseBuckets)
+	v := 1e-6
+	for i := range b {
+		b[i] = v
+		v *= 2
+	}
+	return b
+}()
+
+func init() {
+	if n := len(new(Telemetry).phases); n != len(trace.Phases) {
+		panic("core: phase histogram count out of sync with trace.Phases")
+	}
+}
+
+// phaseHist is one phase's lock-free latency histogram.
+type phaseHist struct {
+	count    atomic.Int64
+	sumNanos atomic.Int64
+	buckets  [nPhaseBuckets + 1]atomic.Int64
+}
+
+func (h *phaseHist) observe(d time.Duration) {
+	h.count.Add(1)
+	h.sumNanos.Add(int64(d))
+	i := sort.SearchFloat64s(phaseBucketBounds, d.Seconds())
+	h.buckets[i].Add(1)
+}
+
+func (h *phaseHist) reset() {
+	h.count.Store(0)
+	h.sumNanos.Store(0)
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+}
 
 // Telemetry is a lightweight per-campaign metrics registry: the Runner
 // feeds it as trials complete, and Snapshot renders the current state
@@ -17,12 +65,18 @@ type Telemetry struct {
 	// ExtraHook (mitigation) slot — atomic because hooks fire on every
 	// layer of every token across all workers.
 	hookFires atomic.Int64
+	// traced counts trials that produced a propagation-trace Record.
+	traced atomic.Int64
+	// phases holds the per-phase latency histograms, indexed by
+	// trace.PhaseIndex; atomic because workers observe spans directly.
+	phases [6]phaseHist
 
 	mu      sync.Mutex
 	start   time.Time
 	total   int
 	done    int
 	fired   int
+	resumed int
 	tally   outcome.Tally
 	workers []workerStat
 	abft    abftStat
@@ -57,16 +111,45 @@ func (t *Telemetry) begin(total, workers int) {
 	t.total = total
 	t.done = 0
 	t.fired = 0
+	t.resumed = 0
 	t.tally = outcome.Tally{}
 	t.workers = make([]workerStat, workers)
 	t.abft = abftStat{}
 	t.hookFires.Store(0)
+	t.traced.Store(0)
+	for i := range t.phases {
+		t.phases[i].reset()
+	}
+}
+
+// restore folds trials recovered from a resume checkpoint into the
+// cumulative counters, so post-resume tallies and fired rates describe
+// the whole campaign rather than restarting from zero. Restored trials
+// are tracked separately (resumed) and excluded from the throughput
+// rate — they were not executed by this run.
+func (t *Telemetry) restore(trials []Trial) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, tr := range trials {
+		t.accountLocked(tr)
+	}
+	t.resumed += len(trials)
 }
 
 // record accounts one completed trial to the given worker.
 func (t *Telemetry) record(worker int, tr Trial, busy time.Duration) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.accountLocked(tr)
+	if worker >= 0 && worker < len(t.workers) {
+		t.workers[worker].trials++
+		t.workers[worker].busy += busy
+	}
+}
+
+// accountLocked folds one trial into the outcome and detection counters.
+// Callers hold t.mu.
+func (t *Telemetry) accountLocked(tr Trial) {
 	t.done++
 	if tr.Fired {
 		t.fired++
@@ -87,14 +170,39 @@ func (t *Telemetry) record(worker int, tr Trial, busy time.Duration) {
 		t.abft.corrected += d.Corrected
 		t.abft.skipped += d.Skipped
 	}
-	if worker >= 0 && worker < len(t.workers) {
-		t.workers[worker].trials++
-		t.workers[worker].busy += busy
-	}
 }
 
 // hookFired counts one ExtraHook invocation.
 func (t *Telemetry) hookFired() { t.hookFires.Add(1) }
+
+// tracedTrial counts one trial that produced a propagation trace.
+func (t *Telemetry) tracedTrial() { t.traced.Add(1) }
+
+// observePhase adds one latency observation to a phase histogram.
+// Lock-free: workers call it directly as trials complete.
+func (t *Telemetry) observePhase(p trace.Phase, d time.Duration) {
+	if i := trace.PhaseIndex(p); i >= 0 && i < len(t.phases) {
+		t.phases[i].observe(d)
+	}
+}
+
+// observeSpans folds one trial's phase timings into the histograms.
+// decode_token is one per-trial mean observation (decode time over
+// decode steps); the check/mitigate phases are observed only when the
+// trial actually ran a checker, so their counts stay comparable to the
+// trial count of ABFT campaigns.
+func (t *Telemetry) observeSpans(sp *spanTimes) {
+	t.observePhase(trace.PhasePrefill, sp.prefill)
+	t.observePhase(trace.PhaseDecode, sp.decode)
+	if sp.steps > 0 {
+		t.observePhase(trace.PhaseDecodeToken, sp.decode/time.Duration(sp.steps))
+	}
+	if sp.abftOn {
+		t.observePhase(trace.PhaseABFTCheck, sp.abft)
+		t.observePhase(trace.PhaseMitigate, sp.mitigate)
+	}
+	t.observePhase(trace.PhaseClassify, sp.classify)
+}
 
 // WorkerSnapshot is one worker's share of the campaign.
 type WorkerSnapshot struct {
@@ -106,11 +214,27 @@ type WorkerSnapshot struct {
 	Utilization float64 `json:"utilization"`
 }
 
+// PhaseSnapshot is one phase's latency histogram: observation count, sum
+// of observed seconds, and per-bucket counts aligned with
+// TelemetrySnapshot.PhaseBucketBounds (one extra overflow bucket at the
+// end — the Prometheus +Inf bucket).
+type PhaseSnapshot struct {
+	Phase      string  `json:"phase"`
+	Count      int64   `json:"count"`
+	SumSeconds float64 `json:"sum_seconds"`
+	Buckets    []int64 `json:"buckets"`
+}
+
 // TelemetrySnapshot is a point-in-time rendering of the registry.
+// DoneTrials, Fired and the outcome tallies are cumulative for the
+// campaign (trials restored from a resume checkpoint included;
+// ResumedTrials says how many), while TrialsPerSec is the post-resume
+// session rate — executed trials over this run's wall time.
 type TelemetrySnapshot struct {
 	ElapsedSeconds float64 `json:"elapsed_seconds"`
 	TotalTrials    int     `json:"total_trials"`
 	DoneTrials     int     `json:"done_trials"`
+	ResumedTrials  int     `json:"resumed_trials,omitempty"`
 	TrialsPerSec   float64 `json:"trials_per_sec"`
 	Fired          int     `json:"fired"`
 	FiredRate      float64 `json:"fired_rate"`
@@ -118,6 +242,7 @@ type TelemetrySnapshot struct {
 	Subtle         int     `json:"sdc_subtle"`
 	Distorted      int     `json:"sdc_distorted"`
 	HookFires      int64   `json:"hook_fires"`
+	TracedTrials   int64   `json:"traced_trials,omitempty"`
 	// ABFT detection-layer counters (all zero without Campaign.ABFT):
 	// checks/violations plus fired trials split into detected (flagged at
 	// the injection site) and missed, noise false positives, cascaded
@@ -131,11 +256,14 @@ type TelemetrySnapshot struct {
 	AbftCorrected      int              `json:"abft_corrected,omitempty"`
 	AbftSkipped        int              `json:"abft_skipped,omitempty"`
 	Workers            []WorkerSnapshot `json:"workers"`
+	// PhaseBucketBounds are the inclusive upper bounds (seconds) shared
+	// by every phase histogram; Phases holds the histograms for phases
+	// with at least one observation, in trace.Phases order.
+	PhaseBucketBounds []float64       `json:"phase_bucket_bounds,omitempty"`
+	Phases            []PhaseSnapshot `json:"phases,omitempty"`
 }
 
-// Snapshot renders the current state. Done/throughput count only trials
-// executed by this run — trials restored from a resume checkpoint are
-// not re-counted as work.
+// Snapshot renders the current state.
 func (t *Telemetry) Snapshot() TelemetrySnapshot {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -147,11 +275,13 @@ func (t *Telemetry) Snapshot() TelemetrySnapshot {
 		ElapsedSeconds: elapsed.Seconds(),
 		TotalTrials:    t.total,
 		DoneTrials:     t.done,
+		ResumedTrials:  t.resumed,
 		Fired:          t.fired,
 		Masked:         t.tally.Masked,
 		Subtle:         t.tally.Subtle,
 		Distorted:      t.tally.Distorted,
 		HookFires:      t.hookFires.Load(),
+		TracedTrials:   t.traced.Load(),
 
 		AbftChecks:         t.abft.checks,
 		AbftFlagged:        t.abft.flagged,
@@ -162,8 +292,8 @@ func (t *Telemetry) Snapshot() TelemetrySnapshot {
 		AbftCorrected:      t.abft.corrected,
 		AbftSkipped:        t.abft.skipped,
 	}
-	if elapsed > 0 {
-		s.TrialsPerSec = float64(t.done) / elapsed.Seconds()
+	if executed := t.done - t.resumed; executed > 0 && elapsed > 0 {
+		s.TrialsPerSec = float64(executed) / elapsed.Seconds()
 	}
 	if t.done > 0 {
 		s.FiredRate = float64(t.fired) / float64(t.done)
@@ -174,6 +304,26 @@ func (t *Telemetry) Snapshot() TelemetrySnapshot {
 			ws.Utilization = w.busy.Seconds() / elapsed.Seconds()
 		}
 		s.Workers = append(s.Workers, ws)
+	}
+	for i := range t.phases {
+		h := &t.phases[i]
+		n := h.count.Load()
+		if n == 0 {
+			continue
+		}
+		ps := PhaseSnapshot{
+			Phase:      string(trace.Phases[i]),
+			Count:      n,
+			SumSeconds: time.Duration(h.sumNanos.Load()).Seconds(),
+			Buckets:    make([]int64, len(h.buckets)),
+		}
+		for b := range h.buckets {
+			ps.Buckets[b] = h.buckets[b].Load()
+		}
+		s.Phases = append(s.Phases, ps)
+	}
+	if len(s.Phases) > 0 {
+		s.PhaseBucketBounds = append([]float64(nil), phaseBucketBounds...)
 	}
 	return s
 }

@@ -1,0 +1,339 @@
+package core
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/gen"
+	"repro/internal/metrics"
+	"repro/internal/mitigate"
+	"repro/internal/model"
+	"repro/internal/numerics"
+	"repro/internal/tasks"
+	"repro/internal/trace"
+)
+
+// traceCampaign is the generative workload shared by the tracing tests.
+func traceCampaign(t *testing.T, fault faults.Model) Campaign {
+	t.Helper()
+	return Campaign{
+		Model:   goldenModel(t, model.QwenS, false),
+		Suite:   tasks.NewSelfRefSuite("trace-core", 31, 3, 18, 7, []metrics.Kind{metrics.KindBLEU}),
+		Fault:   fault,
+		Trials:  12,
+		Seed:    77,
+		Workers: 2,
+	}
+}
+
+// collectTraces runs the campaign with every-trial tracing and returns
+// the records (sink runs on the single collector goroutine, so the
+// append is race-free).
+func collectTraces(t *testing.T, c Campaign, opts ...RunnerOption) []trace.Record {
+	t.Helper()
+	var recs []trace.Record
+	opts = append(opts, WithTrace(1, func(r trace.Record) error {
+		recs = append(recs, r)
+		return nil
+	}))
+	if _, err := NewRunner(c, opts...).Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+// TestCampaignTracingRecords is the deterministic end-to-end probe
+// check: every trial yields a record, and any trial whose activations
+// left tolerance did so first at exactly the injected layer and the
+// transient strike position.
+func TestCampaignTracingRecords(t *testing.T) {
+	c := traceCampaign(t, faults.Comp1Bit)
+	recs := collectTraces(t, c)
+	if len(recs) != c.Trials {
+		t.Fatalf("got %d trace records, want %d", len(recs), c.Trials)
+	}
+	seen := make([]bool, c.Trials)
+	diverged, expAtSite := 0, 0
+	for _, r := range recs {
+		if r.Schema != trace.SchemaVersion {
+			t.Fatalf("record schema %d, want %d", r.Schema, trace.SchemaVersion)
+		}
+		if r.Trial < 0 || r.Trial >= c.Trials || seen[r.Trial] {
+			t.Fatalf("bad or duplicate trial index %d", r.Trial)
+		}
+		seen[r.Trial] = true
+		if want := len(c.Suite.Instances[r.Instance].Prompt) + r.GenIter; r.StrikePos != want {
+			t.Fatalf("trial %d strike pos %d, want prompt+iter %d", r.Trial, r.StrikePos, want)
+		}
+		if len(r.Spans) == 0 {
+			t.Fatalf("trial %d carries no timing spans", r.Trial)
+		}
+		phases := map[trace.Phase]bool{}
+		for _, sp := range r.Spans {
+			phases[sp.Phase] = true
+		}
+		for _, p := range []trace.Phase{trace.PhasePrefill, trace.PhaseDecode, trace.PhaseClassify} {
+			if !phases[p] {
+				t.Fatalf("trial %d missing %s span", r.Trial, p)
+			}
+		}
+		if r.FirstDivergence == nil {
+			continue
+		}
+		diverged++
+		// The decode replays the clean prefix bit-identically, so nothing
+		// can diverge before the transient strike position. (The first
+		// crossing of the *relative* tolerance may sit a layer or two past
+		// the injection site when the site row's norm is large — e.g. a
+		// small flip inside a wide gate_proj row — so the layer itself is
+		// asserted via the at-site count below, not universally.)
+		if r.FirstDivergence.Pos < r.StrikePos {
+			t.Fatalf("trial %d diverged at pos %d, before strike pos %d",
+				r.Trial, r.FirstDivergence.Pos, r.StrikePos)
+		}
+		if !r.Fired {
+			t.Fatalf("trial %d diverged without firing", r.Trial)
+		}
+		if r.Compared == 0 {
+			t.Fatalf("trial %d diverged with zero compared rows", r.Trial)
+		}
+		atSite := r.FirstDivergence.Layer == r.Layer && r.FirstDivergence.Pos == r.StrikePos
+		if numerics.ClassifyBit(numerics.BF16, r.HighestBit) == numerics.ExponentBit && atSite {
+			expAtSite++
+		}
+	}
+	if diverged == 0 {
+		t.Fatal("no trial diverged; the probe saw nothing")
+	}
+	if expAtSite == 0 {
+		t.Fatal("no exponent-bit trial recorded its first divergence at the injection site")
+	}
+}
+
+// TestTraceSampling pins the -trace-sample stride: with every=3, exactly
+// the trials with index % 3 == 0 are traced, and telemetry counts them.
+func TestTraceSampling(t *testing.T) {
+	c := traceCampaign(t, faults.Comp1Bit)
+	var recs []trace.Record
+	tel := NewTelemetry()
+	_, err := NewRunner(c,
+		WithTelemetry(tel),
+		WithTrace(3, func(r trace.Record) error {
+			recs = append(recs, r)
+			return nil
+		}),
+	).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (c.Trials + 2) / 3
+	if len(recs) != want {
+		t.Fatalf("sampled %d records, want %d", len(recs), want)
+	}
+	for _, r := range recs {
+		if r.Trial%3 != 0 {
+			t.Fatalf("trial %d traced despite stride 3", r.Trial)
+		}
+	}
+	if got := tel.Snapshot().TracedTrials; got != int64(want) {
+		t.Fatalf("telemetry traced = %d, want %d", got, want)
+	}
+}
+
+// TestTracingDoesNotChangeResult guards golden equivalence of the whole
+// tracing layer: baseline capture hooks plus per-trial probes must leave
+// every trial bit-identical to an untraced run.
+func TestTracingDoesNotChangeResult(t *testing.T) {
+	for _, fault := range []faults.Model{faults.Comp1Bit, faults.Mem2Bit} {
+		t.Run(fault.String(), func(t *testing.T) {
+			c := traceCampaign(t, fault)
+			ref, err := c.Run(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			var res *Result
+			res, err = NewRunner(c, WithTrace(1, nil)).Run(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameResult(t, ref, res)
+		})
+	}
+}
+
+// TestTraceIneligibleSuites: multiple-choice scoring and beam search have
+// no per-position clean reference, so tracing must silently disable.
+func TestTraceIneligibleSuites(t *testing.T) {
+	mc := traceCampaign(t, faults.Comp1Bit)
+	suite, err := tasks.NewMCSuite("arc", 7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc.Model = testMCModel(t, model.QwenS)
+	mc.Suite = suite
+	if recs := collectTraces(t, mc); len(recs) != 0 {
+		t.Fatalf("MC campaign produced %d trace records", len(recs))
+	}
+
+	beam := traceCampaign(t, faults.Comp1Bit)
+	beam.Gen = gen.Settings{NumBeams: 3}
+	if recs := collectTraces(t, beam); len(recs) != 0 {
+		t.Fatalf("beam campaign produced %d trace records", len(recs))
+	}
+}
+
+// TestMemoryFaultTracing: resident faults have no single strike position
+// (StrikePos -1) and anchor their profile at the first divergence.
+func TestMemoryFaultTracing(t *testing.T) {
+	c := traceCampaign(t, faults.Mem2Bit)
+	recs := collectTraces(t, c)
+	if len(recs) != c.Trials {
+		t.Fatalf("got %d records, want %d", len(recs), c.Trials)
+	}
+	diverged := 0
+	for _, r := range recs {
+		if r.StrikePos != -1 {
+			t.Fatalf("memory-fault record has strike pos %d, want -1", r.StrikePos)
+		}
+		if r.FirstDivergence != nil {
+			diverged++
+		}
+	}
+	if diverged == 0 {
+		t.Fatal("no memory-fault trial diverged")
+	}
+}
+
+// TestPhaseHistograms checks the span → histogram plumbing: an ABFT
+// campaign populates every phase, with per-trial counts for the
+// non-token phases.
+func TestPhaseHistograms(t *testing.T) {
+	c := traceCampaign(t, faults.Comp1Bit)
+	c.ABFT = &ABFTConfig{Policy: mitigate.PolicyCorrect}
+	tel := NewTelemetry()
+	if _, err := NewRunner(c, WithTelemetry(tel)).Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	s := tel.Snapshot()
+	if len(s.PhaseBucketBounds) == 0 {
+		t.Fatal("no phase bucket bounds in snapshot")
+	}
+	byPhase := map[string]PhaseSnapshot{}
+	for _, ps := range s.Phases {
+		byPhase[ps.Phase] = ps
+		var n int64
+		for _, b := range ps.Buckets {
+			n += b
+		}
+		if n != ps.Count {
+			t.Fatalf("%s: buckets sum to %d, count %d", ps.Phase, n, ps.Count)
+		}
+		if len(ps.Buckets) != len(s.PhaseBucketBounds)+1 {
+			t.Fatalf("%s: %d buckets for %d bounds", ps.Phase, len(ps.Buckets), len(s.PhaseBucketBounds))
+		}
+	}
+	for _, p := range []trace.Phase{
+		trace.PhasePrefill, trace.PhaseDecode,
+		trace.PhaseABFTCheck, trace.PhaseMitigate, trace.PhaseClassify,
+	} {
+		ps, ok := byPhase[string(p)]
+		if !ok {
+			t.Fatalf("phase %s has no observations", p)
+		}
+		if ps.Count != int64(c.Trials) {
+			t.Fatalf("phase %s count = %d, want %d", p, ps.Count, c.Trials)
+		}
+	}
+	if _, ok := byPhase[string(trace.PhaseDecodeToken)]; !ok {
+		t.Fatal("decode_token histogram empty")
+	}
+}
+
+// TestResumeTelemetryCumulative is the resume-telemetry regression test:
+// counters restored from a checkpoint must continue cumulatively instead
+// of restarting from zero, with the restored count reported separately.
+func TestResumeTelemetryCumulative(t *testing.T) {
+	c := traceCampaign(t, faults.Comp1Bit)
+	ref, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	refFired := 0
+	for _, tr := range ref.Trials {
+		if tr.Fired {
+			refFired++
+		}
+	}
+	refTally := ref.Tally()
+
+	save := func(k int) string {
+		ck := &Checkpoint{Fingerprint: c.Fingerprint()}
+		for i := 0; i < k; i++ {
+			ck.Indices = append(ck.Indices, i)
+			ck.Trials = append(ck.Trials, ref.Trials[i])
+		}
+		path := filepath.Join(t.TempDir(), "tel.ckpt")
+		if err := ck.Save(path); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	// Partial resume: totals must match the uninterrupted run.
+	k := c.Trials / 2
+	tel := NewTelemetry()
+	if _, err := NewRunner(c, WithTelemetry(tel)).Resume(context.Background(), save(k)); err != nil {
+		t.Fatal(err)
+	}
+	s := tel.Snapshot()
+	if s.DoneTrials != c.Trials || s.ResumedTrials != k {
+		t.Fatalf("resumed snapshot done/resumed = %d/%d, want %d/%d",
+			s.DoneTrials, s.ResumedTrials, c.Trials, k)
+	}
+	if s.Fired != refFired {
+		t.Fatalf("resumed fired = %d, want cumulative %d", s.Fired, refFired)
+	}
+	if s.Masked != refTally.Masked || s.Subtle != refTally.Subtle || s.Distorted != refTally.Distorted {
+		t.Fatalf("resumed tally %d/%d/%d, want %d/%d/%d",
+			s.Masked, s.Subtle, s.Distorted, refTally.Masked, refTally.Subtle, refTally.Distorted)
+	}
+	if s.FiredRate != float64(refFired)/float64(c.Trials) {
+		t.Fatalf("resumed fired rate = %v", s.FiredRate)
+	}
+
+	// Fully-resumed campaign: nothing executed, so the session throughput
+	// must stay zero while the cumulative counters report the whole run.
+	tel2 := NewTelemetry()
+	if _, err := NewRunner(c, WithTelemetry(tel2)).Resume(context.Background(), save(c.Trials)); err != nil {
+		t.Fatal(err)
+	}
+	s2 := tel2.Snapshot()
+	if s2.DoneTrials != c.Trials || s2.ResumedTrials != c.Trials {
+		t.Fatalf("full-resume done/resumed = %d/%d", s2.DoneTrials, s2.ResumedTrials)
+	}
+	if s2.TrialsPerSec != 0 {
+		t.Fatalf("full-resume session rate = %v, want 0 (no trials executed)", s2.TrialsPerSec)
+	}
+	if s2.Fired != refFired {
+		t.Fatalf("full-resume fired = %d, want %d", s2.Fired, refFired)
+	}
+}
+
+// TestTraceSinkErrorStopsCampaign: a failing trace sink must abort the
+// run like any other infrastructure error.
+func TestTraceSinkErrorStopsCampaign(t *testing.T) {
+	c := traceCampaign(t, faults.Comp1Bit)
+	sinkErr := errTest("sink failed")
+	_, err := NewRunner(c, WithTrace(1, func(trace.Record) error {
+		return sinkErr
+	})).Run(context.Background())
+	if err == nil {
+		t.Fatal("sink error did not fail the campaign")
+	}
+}
+
+type errTest string
+
+func (e errTest) Error() string { return string(e) }

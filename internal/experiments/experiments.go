@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/pretrained"
 	"repro/internal/report"
+	"repro/internal/trace"
 )
 
 // Config scales an experiment run. Zero fields take defaults.
@@ -34,6 +35,13 @@ type Config struct {
 	// (overwritten in place) for each long-running campaign. cmd/figures
 	// wires stderr here behind -progress.
 	Progress io.Writer
+	// TraceEvery, with TraceSink, enables propagation tracing for every
+	// campaign an experiment runs: each N-th trial's trace.Record goes to
+	// the sink. cmd/figures wires a report.TraceWriter here behind
+	// -trace. Experiments that consume traces themselves (fig_propagation)
+	// trace their campaigns regardless of this setting.
+	TraceEvery int
+	TraceSink  func(trace.Record) error
 }
 
 func (c Config) withDefaults() Config {
@@ -58,23 +66,31 @@ func (c Config) loader() *pretrained.Loader {
 }
 
 // campaign executes one fault-injection campaign on behalf of an
-// experiment: blocking when no progress sink is configured, otherwise
-// through the streaming runner with a live status line labelled after
-// the campaign.
+// experiment: blocking when neither a progress sink nor tracing is
+// configured, otherwise through the streaming runner with a live status
+// line labelled after the campaign.
 func (c Config) campaign(ctx context.Context, label string, camp core.Campaign) (*core.Result, error) {
-	if c.Progress == nil {
+	var ropts []core.RunnerOption
+	if c.TraceEvery > 0 && c.TraceSink != nil {
+		ropts = append(ropts, core.WithTrace(c.TraceEvery, c.TraceSink))
+	}
+	if c.Progress == nil && len(ropts) == 0 {
 		return camp.Run(ctx)
 	}
 	var final core.CampaignDone
-	for ev := range core.NewRunner(camp).Stream(ctx) {
+	for ev := range core.NewRunner(camp, ropts...).Stream(ctx) {
 		switch e := ev.(type) {
 		case core.Progress:
-			fmt.Fprintf(c.Progress, "\r%-100s", report.ProgressLine(label, e))
+			if c.Progress != nil {
+				fmt.Fprintf(c.Progress, "\r%-100s", report.ProgressLine(label, e))
+			}
 		case core.CampaignDone:
 			final = e
 		}
 	}
-	fmt.Fprintf(c.Progress, "\r%-100s\r", "")
+	if c.Progress != nil {
+		fmt.Fprintf(c.Progress, "\r%-100s\r", "")
+	}
 	return final.Result, final.Err
 }
 

@@ -20,6 +20,8 @@ func TestRegistryComplete(t *testing.T) {
 		"obs4", "ext1", "ext2", "abl1", "abl2", "abl3",
 		// ABFT detection-layer extension (PR 3).
 		"fig_abft",
+		// Propagation-trace observability extension (PR 4).
+		"fig_propagation",
 	}
 	have := map[string]bool{}
 	for _, e := range All() {

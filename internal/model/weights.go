@@ -174,6 +174,15 @@ type Hook func(ref LayerRef, step int, out []float32)
 // AddHook registers h; hooks run in registration order.
 func (m *Model) AddHook(h Hook) { m.hooks = append(m.hooks, h) }
 
+// PopHook removes the most recently added hook, leaving earlier hooks
+// installed. The tracing layer uses it to unwind a baseline-capture or
+// probe hook without disturbing a campaign's ExtraHook.
+func (m *Model) PopHook() {
+	if n := len(m.hooks); n > 0 {
+		m.hooks = m.hooks[:n-1]
+	}
+}
+
 // LinearChecker verifies — and under a correcting policy may repair in
 // place — the output vector of a linear layer. CheckLinear runs after the
 // forward hooks (so it observes injected faults exactly as a deployed

@@ -40,3 +40,20 @@ func ProgressLine(label string, p core.Progress) string {
 	}
 	return line
 }
+
+// SummaryLine renders the final state of a campaign as a one-line
+// summary. Unlike ProgressLine it is meant to be printed with a newline
+// and survive in the scrollback — the last carriage-return progress
+// line is otherwise clobbered by whatever prints next.
+func SummaryLine(label string, p core.Progress) string {
+	line := fmt.Sprintf("%s  %d/%d trials in %s", label, p.Done, p.Total,
+		p.Elapsed.Round(10*time.Millisecond))
+	if p.TrialsPerSec > 0 {
+		line += fmt.Sprintf("  %.1f trials/s", p.TrialsPerSec)
+	}
+	if p.Done > 0 {
+		line += fmt.Sprintf("  fired %.1f%% (%d/%d)", 100*float64(p.Fired)/float64(p.Done), p.Fired, p.Done)
+	}
+	line += fmt.Sprintf("  M/S/D %d/%d/%d", p.Tally.Masked, p.Tally.Subtle, p.Tally.Distorted)
+	return line
+}

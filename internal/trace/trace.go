@@ -1,0 +1,179 @@
+// Package trace implements the fault-propagation tracing layer: per-trial
+// propagation probes that ride the model's forward-hook mechanism to
+// measure how an injected fault spreads through the network (per-layer
+// activation deviation against the clean baseline forward, the
+// first-divergence site, blast radius, and the logit-margin trajectory of
+// the faulty decode), plus the timing-span taxonomy the campaign runtime
+// aggregates into per-phase latency histograms.
+//
+// The clean reference is captured once per instance during the fault-free
+// baseline evaluation — the same pass that snapshots the prefix KV cache —
+// so a traced trial pays only an O(width) vector comparison per layer
+// invocation, not a second inference.
+//
+// Records export as JSONL with a versioned schema (SchemaVersion); see
+// DESIGN.md §10 for the schema and sampling semantics.
+package trace
+
+import "math"
+
+// SchemaVersion identifies the trace Record layout. Bump on any
+// incompatible field change so downstream analysis can dispatch.
+const SchemaVersion = 1
+
+// DefaultTol is the relative-L2 deviation above which a layer output
+// counts as diverged from the clean baseline. 1e-3 matches the
+// corruption-mask threshold of the Figure 5/6 reproductions: far above
+// float32 kernel noise, far below any fault that could flip a token.
+const DefaultTol = 1e-3
+
+// Phase names one timed segment of a trial. The set is closed: the
+// telemetry registry keys its latency histograms by PhaseIndex.
+type Phase string
+
+const (
+	// PhasePrefill covers prompt processing: the batched prefill matmuls,
+	// or the prefix-snapshot fork when the trial resumes from the shared
+	// baseline KV cache.
+	PhasePrefill Phase = "prefill"
+	// PhaseDecode covers the full token-generation loop of a trial.
+	PhaseDecode Phase = "decode"
+	// PhaseDecodeToken is the per-token decode latency (recorded as one
+	// per-trial mean observation: decode time / decode steps).
+	PhaseDecodeToken Phase = "decode_token"
+	// PhaseABFTCheck is time inside the checksum detector, excluding
+	// mitigation (recompute / skip) work.
+	PhaseABFTCheck Phase = "abft_check"
+	// PhaseMitigate is time spent repairing flagged rows (recompute,
+	// verify, zero-fallback).
+	PhaseMitigate Phase = "mitigate"
+	// PhaseClassify covers outcome classification: metric scoring,
+	// distortion analysis, and detection attribution.
+	PhaseClassify Phase = "classify"
+)
+
+// Phases lists every phase in canonical order.
+var Phases = []Phase{
+	PhasePrefill, PhaseDecode, PhaseDecodeToken,
+	PhaseABFTCheck, PhaseMitigate, PhaseClassify,
+}
+
+// PhaseIndex returns the canonical index of p, or -1 if unknown.
+func PhaseIndex(p Phase) int {
+	for i, q := range Phases {
+		if q == p {
+			return i
+		}
+	}
+	return -1
+}
+
+// Span is one timed phase of a trial.
+type Span struct {
+	Phase   Phase   `json:"phase"`
+	Seconds float64 `json:"seconds"`
+	// Count carries the number of underlying operations when the span is
+	// an aggregate (e.g. decode steps for PhaseDecode).
+	Count int `json:"count,omitempty"`
+}
+
+// Divergence locates the first layer invocation whose output deviated
+// from the clean baseline beyond tolerance.
+type Divergence struct {
+	// Layer is the full layer address (e.g. "block3.up_proj"); Block its
+	// block index (-1 for the LM head).
+	Layer string `json:"layer"`
+	Block int    `json:"block"`
+	// Pos is the absolute token position of the diverged invocation.
+	Pos int `json:"pos"`
+	// RelL2 and LInf are the deviation that crossed the tolerance
+	// (non-finite values are clamped to MaxFloat64 for JSON).
+	RelL2 float64 `json:"rel_l2"`
+	LInf  float64 `json:"l_inf"`
+}
+
+// LayerDev is one layer's deviation from the clean baseline at the
+// strike position — the per-layer propagation profile of Figures 5–6.
+type LayerDev struct {
+	Layer string  `json:"layer"`
+	Block int     `json:"block"`
+	Pos   int     `json:"pos"`
+	RelL2 float64 `json:"rel_l2"`
+	LInf  float64 `json:"l_inf"`
+	// Exceeded reports RelL2 > tolerance.
+	Exceeded bool `json:"exceeded"`
+}
+
+// Margin is the logit-margin trajectory sample of one decode position of
+// the faulty run.
+type Margin struct {
+	// Pos is the absolute token position whose logits were observed.
+	Pos int `json:"pos"`
+	// Margin is top1 − top2 of the faulty logits: how far the winning
+	// token is from being flipped.
+	Margin float64 `json:"margin"`
+	// Diverged reports that the faulty argmax differs from the clean
+	// baseline argmax at this position (or that the baseline has no
+	// logits here because the trajectories already diverged in length).
+	Diverged bool `json:"diverged"`
+}
+
+// Record is one traced trial: injection identity, propagation
+// measurements, and phase timings. It round-trips through JSON (all
+// float fields are finite; the probe clamps non-finite deviations).
+type Record struct {
+	Schema   int    `json:"schema"`
+	Trial    int    `json:"trial"`
+	Instance int    `json:"instance"`
+	Fault    string `json:"fault"`
+	// Site is the compact injection descriptor; Layer/Block/Bits break
+	// out the grouping keys so analysis needs no parsing.
+	Site       string `json:"site"`
+	Layer      string `json:"layer"`
+	Block      int    `json:"block"`
+	Bits       []int  `json:"bits"`
+	HighestBit int    `json:"highest_bit"`
+	GenIter    int    `json:"gen_iter"`
+	// StrikePos is the absolute token position of a transient fault
+	// (prompt length + GenIter); -1 for resident (memory) faults, which
+	// are live at every position.
+	StrikePos int    `json:"strike_pos"`
+	Fired     bool   `json:"fired"`
+	Outcome   string `json:"outcome"`
+	AnswerOK  bool   `json:"answer_ok"`
+	Steps     int    `json:"steps"`
+
+	// FirstDivergence is nil when no layer output left tolerance (the
+	// fault was masked numerically or never struck).
+	FirstDivergence *Divergence `json:"first_divergence,omitempty"`
+	// PropagationDepth counts distinct transformer blocks whose output
+	// exceeded tolerance at the strike position — the cascade depth.
+	PropagationDepth int `json:"propagation_depth"`
+	// BlastRadius is the fraction of layer invocations at the strike
+	// position, from the injection site onward, that exceeded tolerance.
+	BlastRadius float64 `json:"blast_radius"`
+	// MaxRelL2 / MaxLInf are the worst deviations seen anywhere.
+	MaxRelL2 float64 `json:"max_rel_l2"`
+	MaxLInf  float64 `json:"max_l_inf"`
+	// Compared counts layer invocations that had a clean reference row.
+	Compared int `json:"compared"`
+
+	Layers       []LayerDev `json:"layers,omitempty"`
+	LogitMargins []Margin   `json:"logit_margins,omitempty"`
+	Spans        []Span     `json:"spans,omitempty"`
+}
+
+// finite clamps NaN/±Inf to ±MaxFloat64 so records stay JSON-encodable:
+// degenerate faults legitimately drive activations non-finite, and the
+// trace must still serialize.
+func finite(v float64) float64 {
+	switch {
+	case math.IsNaN(v):
+		return math.MaxFloat64
+	case math.IsInf(v, 1):
+		return math.MaxFloat64
+	case math.IsInf(v, -1):
+		return -math.MaxFloat64
+	}
+	return v
+}
