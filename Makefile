@@ -1,16 +1,24 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench fuzz cover
+.PHONY: check fmt vet lint build test race bench fuzz cover
 
-## check: the full CI gate — formatting, vet, build, tests, race detector.
-check: fmt vet build test race
+## check: the full CI gate — formatting, vet, invariant lint, build,
+## tests, race detector.
+check: fmt vet lint build test race
 
 fmt:
-	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
-		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	@out=$$(gofmt -s -l .); if [ -n "$$out" ]; then \
+		echo "gofmt -s needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
+
+## lint: the repo's invariant analyzers (cmd/llmfi-vet): determinism,
+## hook purity, copy-on-write weight discipline, float64 checksum math,
+## context-first cancellation. Suppress individual findings with
+## //llmfi:allow <analyzer> <reason>.
+lint:
+	$(GO) run ./cmd/llmfi-vet ./...
 
 build:
 	$(GO) build ./...
@@ -20,6 +28,8 @@ test:
 
 race:
 	$(GO) test -race ./...
+	GORACE=halt_on_error=1 $(GO) test -race -count=1 \
+		-run '^Test(Runner|Trace|Resume|Checkpoint)' ./internal/core/
 
 ## bench: the campaign throughput benchmarks (Figure reproductions live
 ## in bench_test.go at the repo root), plus the machine-readable runtime

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeModule materializes a synthetic mini-module in a temp dir.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		p := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const goMod = "module minimod\n\ngo 1.22\n"
+
+func TestExitCodeFindings(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": goMod,
+		// The package path minimod/internal/core matches the determinism
+		// analyzer's scope suffix, so the bare wall-clock read is a finding.
+		"internal/core/clock.go": `package core
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }
+`,
+	})
+	if got := run([]string{"-C", dir, "./..."}); got != 1 {
+		t.Fatalf("exit code = %d, want 1 (findings)", got)
+	}
+}
+
+func TestExitCodeClean(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": goMod,
+		"internal/core/clock.go": `package core
+
+import "time"
+
+func Stamp() time.Time {
+	return time.Now() //llmfi:allow determinism integration test: telemetry only
+}
+`,
+		// A package outside every analyzer scope is not inspected at all.
+		"pkg/util/util.go": `package util
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }
+`,
+	})
+	if got := run([]string{"-C", dir, "./..."}); got != 0 {
+		t.Fatalf("exit code = %d, want 0 (clean)", got)
+	}
+}
+
+func TestExitCodeUsage(t *testing.T) {
+	if got := run([]string{"-run", "bogus"}); got != 2 {
+		t.Fatalf("exit code = %d, want 2 (unknown analyzer)", got)
+	}
+	dir := writeModule(t, map[string]string{"go.mod": goMod})
+	if got := run([]string{"-C", dir, "./does/not/exist"}); got != 2 {
+		t.Fatalf("exit code = %d, want 2 (load failure)", got)
+	}
+}
+
+func TestListExitsZero(t *testing.T) {
+	if got := run([]string{"-list"}); got != 0 {
+		t.Fatalf("exit code = %d, want 0 (-list)", got)
+	}
+}

@@ -216,14 +216,14 @@ func (c *Checker) CheckLinear(ref model.LayerRef, pos int, w model.Weight, in, o
 		if cap(c.scratch) < len(out) {
 			c.scratch = make([]float32, len(out))
 		}
-		mitStart := time.Now()
+		mitStart := time.Now() //llmfi:allow determinism mitigation-latency telemetry; never feeds the detection decision
 		ev.Action = mitigate.Respond(c.cfg.Policy, out, c.scratch[:len(out)],
 			func(dst []float32) { w.Forward(dst, in) },
 			func(cand []float32) bool {
 				ok, _, _ := ls.cs.CheckRow(in, cand, ls.tol)
 				return ok
 			})
-		c.mitTime += time.Since(mitStart)
+		c.mitTime += time.Since(mitStart) //llmfi:allow determinism mitigation-latency telemetry; never feeds the detection decision
 		switch ev.Action {
 		case mitigate.ActionCorrect:
 			c.stats.Corrected++

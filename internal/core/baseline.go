@@ -8,7 +8,6 @@ package core
 import (
 	"strconv"
 	"strings"
-	"time"
 
 	"repro/internal/gen"
 	"repro/internal/metrics"
@@ -184,13 +183,13 @@ func evalBaseline(m *model.Model, suite *tasks.Suite, gs gen.Settings, check Ans
 func evalInstance(m *model.Model, suite *tasks.Suite, inst *tasks.Instance, gs gen.Settings, check AnswerChecker, selfRefOK, snap bool, sp *spanTimes) InstanceBaseline {
 	var ib InstanceBaseline
 	if suite.Type == tasks.MultipleChoice {
-		decodeStart := time.Now()
+		decodeStart := now()
 		choice, _ := gen.ChooseOption(m, inst.Prompt, inst.Options)
 		if sp != nil {
 			// Option scoring interleaves prefill and scoring passes; the
 			// whole evaluation reports as one decode span (steps 0, so no
 			// per-token observation is derived).
-			sp.decode += time.Since(decodeStart)
+			sp.decode += since(decodeStart)
 		}
 		ib.Choice = choice
 		ib.AnswerOK = choice == inst.Gold
@@ -208,29 +207,29 @@ func evalInstance(m *model.Model, suite *tasks.Suite, inst *tasks.Instance, gs g
 	if expertTrace {
 		st.EnableExpertTrace()
 	}
-	prefillStart := time.Now()
+	prefillStart := now()
 	logits := st.Prefill(inst.Prompt)
 	if sp != nil {
-		sp.prefill += time.Since(prefillStart)
+		sp.prefill += since(prefillStart)
 	}
 	if snap {
 		ib.prefix = st.Fork()
 		ib.prefixLogits = append([]float32(nil), logits...)
 	}
-	decodeStart := time.Now()
+	decodeStart := now()
 	res := gen.GenerateFrom(m, st, logits, gs)
 	if sp != nil {
-		sp.decode += time.Since(decodeStart)
+		sp.decode += since(decodeStart)
 		sp.steps = res.Steps
 	}
 	res.Steps += len(inst.Prompt)
 	if expertTrace {
 		ib.ExpertTrace = st.ExpertTrace
 	}
-	classifyStart := time.Now()
+	classifyStart := now()
 	finishGenerative(&ib, suite, inst, res, check, selfRefOK)
 	if sp != nil {
-		sp.classify += time.Since(classifyStart)
+		sp.classify += since(classifyStart)
 	}
 	return ib
 }

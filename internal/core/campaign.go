@@ -238,9 +238,9 @@ type timedChecker struct {
 }
 
 func (tc *timedChecker) CheckLinear(ref model.LayerRef, pos int, w model.Weight, in, out []float32) {
-	start := time.Now()
+	start := now()
 	tc.inner.CheckLinear(ref, pos, w, in, out)
-	tc.total += time.Since(start)
+	tc.total += since(start)
 }
 
 // runTrial performs one injection on the worker's model clone. checker is
@@ -328,11 +328,11 @@ func (c Campaign) runTrial(wm *model.Model, sampler *faults.Sampler, src *prng.S
 		wm.SetChecker(nil)
 		sp.mitigate = checker.MitigationTime()
 		sp.abft = timed.total - sp.mitigate
-		classifyStart := time.Now()
+		classifyStart := now()
 		trial.Detection = summarizeDetection(checker, site, promptLen, fired)
-		sp.classify += time.Since(classifyStart)
+		sp.classify += since(classifyStart)
 	}
-	classifyStart := time.Now()
+	classifyStart := now()
 	if c.Suite.Type == tasks.MultipleChoice {
 		masked := ib.Choice == base.Choice
 		trial.Outcome = outcome.Analysis{Changed: !masked}
@@ -345,7 +345,7 @@ func (c Campaign) runTrial(wm *model.Model, sampler *faults.Sampler, src *prng.S
 			trial.ExpertChanged = !expertTraceEqual(ib.ExpertTrace, base.ExpertTrace)
 		}
 	}
-	sp.classify += time.Since(classifyStart)
+	sp.classify += since(classifyStart)
 
 	var rec *trace.Record
 	if instr.traced {
@@ -399,17 +399,17 @@ func (c Campaign) resumeInstance(wm *model.Model, base *InstanceBaseline, inst *
 	var ib InstanceBaseline
 	gs.MaxNewTokens = inst.MaxNew
 	gs.MinNewTokens = inst.MinNew
-	prefillStart := time.Now()
+	prefillStart := now()
 	st := base.prefix.ForkFor(wm)
 	logits := append([]float32(nil), base.prefixLogits...)
 	if sp != nil {
 		// The fork stands in for prefill on this path.
-		sp.prefill += time.Since(prefillStart)
+		sp.prefill += since(prefillStart)
 	}
-	decodeStart := time.Now()
+	decodeStart := now()
 	res := gen.GenerateFrom(wm, st, logits, gs)
 	if sp != nil {
-		sp.decode += time.Since(decodeStart)
+		sp.decode += since(decodeStart)
 		sp.steps = res.Steps
 	}
 	// Steps is the runtime proxy for the modeled inference, which still
@@ -418,10 +418,10 @@ func (c Campaign) resumeInstance(wm *model.Model, base *InstanceBaseline, inst *
 	if wm.Cfg.IsMoE() && gs.NumBeams <= 1 {
 		ib.ExpertTrace = st.ExpertTrace
 	}
-	classifyStart := time.Now()
+	classifyStart := now()
 	finishGenerative(&ib, c.Suite, inst, res, check, false)
 	if sp != nil {
-		sp.classify += time.Since(classifyStart)
+		sp.classify += since(classifyStart)
 	}
 	return ib
 }

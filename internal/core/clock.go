@@ -1,0 +1,21 @@
+package core
+
+import "time"
+
+// The campaign engine is deterministic by construction: everything that
+// reaches a Result or a checkpoint is a pure function of the campaign
+// seed. Wall-clock reads are telemetry-only — phase latencies, event
+// timestamps, throughput — and are funneled through this seam so the
+// determinism analyzer (internal/lint) has exactly two sanctioned sites
+// instead of an allow-annotation per call site. Anything timed through
+// now/since must stay out of trial outcomes.
+
+// now reads the wall clock for telemetry timestamps.
+func now() time.Time {
+	return time.Now() //llmfi:allow determinism telemetry-only clock seam; values never reach trial outcomes
+}
+
+// since reports elapsed wall time for telemetry latencies.
+func since(t time.Time) time.Duration {
+	return time.Since(t) //llmfi:allow determinism telemetry-only clock seam; values never reach trial outcomes
+}

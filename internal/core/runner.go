@@ -343,7 +343,7 @@ func (r *Runner) run(ctx context.Context, emit func(Event)) (*Result, error) {
 					tol:    traceTol,
 				}
 				sp := &spanTimes{}
-				start := time.Now()
+				start := now()
 				trial, rec, err := c.runTrial(wm, sampler, seedSrc.Split(uint64(t)), t, baseline, gs, check, checker, instr, sp)
 				if err != nil {
 					// First failure cancels the pool; the collector
@@ -353,7 +353,7 @@ func (r *Runner) run(ctx context.Context, emit func(Event)) (*Result, error) {
 					return
 				}
 				r.tel.observeSpans(sp)
-				results <- trialResult{index: t, worker: worker, trial: trial, rec: rec, busy: time.Since(start)}
+				results <- trialResult{index: t, worker: worker, trial: trial, rec: rec, busy: since(start)}
 			}
 		}(w)
 	}

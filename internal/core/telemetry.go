@@ -107,7 +107,7 @@ func NewTelemetry() *Telemetry { return &Telemetry{} }
 func (t *Telemetry) begin(total, workers int) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.start = time.Now()
+	t.start = now()
 	t.total = total
 	t.done = 0
 	t.fired = 0
@@ -269,7 +269,7 @@ func (t *Telemetry) Snapshot() TelemetrySnapshot {
 	defer t.mu.Unlock()
 	elapsed := time.Duration(0)
 	if !t.start.IsZero() {
-		elapsed = time.Since(t.start)
+		elapsed = since(t.start)
 	}
 	s := TelemetrySnapshot{
 		ElapsedSeconds: elapsed.Seconds(),

@@ -145,12 +145,12 @@ func abftOverhead(m *model.Model, suite *tasks.Suite) (base, checked float64, er
 	run(ch)
 	const reps = 5
 	for i := 0; i < reps; i++ {
-		t0 := time.Now()
+		t0 := time.Now() //llmfi:allow determinism overhead benchmark: the measured quantity IS wall time
 		run(nil)
-		t1 := time.Now()
+		t1 := time.Now() //llmfi:allow determinism overhead benchmark: the measured quantity IS wall time
 		run(ch)
 		base += t1.Sub(t0).Seconds()
-		checked += time.Since(t1).Seconds()
+		checked += time.Since(t1).Seconds() //llmfi:allow determinism overhead benchmark: the measured quantity IS wall time
 	}
 	return base / reps, checked / reps, nil
 }

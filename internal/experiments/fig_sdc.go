@@ -143,10 +143,11 @@ func bitFigure(ctx context.Context, cfg Config, class outcome.Class, id, title s
 		}
 		// Headline: share contributed by the exponent MSB (bit 14 in BF16).
 		o.set(fmt.Sprintf("%s.%v.bit14", r.Model, r.Fault), props[dt.Bits()-2])
+		// Sum in sorted bit order so the float total is bit-reproducible.
 		mantissa := 0.0
-		for bit, p := range props {
+		for _, bit := range bits {
 			if numerics.ClassifyBit(dt, bit) == numerics.MantissaBit {
-				mantissa += p
+				mantissa += props[bit]
 			}
 		}
 		o.set(fmt.Sprintf("%s.%v.mantissa", r.Model, r.Fault), mantissa)

@@ -77,12 +77,16 @@ func (inj *Injection) Disarm() {
 }
 
 // FaultValue returns, for a memory fault, the weight value before and
-// after the flip — used by propagation traces and reports.
+// after the flip — used by propagation traces and reports. The flip is
+// transient (restored before returning) but still a write, so it must
+// go through LayerForWrite: on a CloneShared worker a flip through
+// Layer would momentarily corrupt the parent's shared tensor under
+// every sibling worker's feet.
 func FaultValue(m *model.Model, site Site) (before, after float64, err error) {
 	if !site.Fault.IsMemory() {
 		return 0, 0, fmt.Errorf("faults: FaultValue applies to memory faults only")
 	}
-	w, err := m.Layer(site.Layer)
+	w, err := m.LayerForWrite(site.Layer)
 	if err != nil {
 		return 0, 0, err
 	}

@@ -1,0 +1,41 @@
+package lint
+
+// Analyzers returns the full analyzer suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		AnalyzerDeterminism,
+		AnalyzerHookPurity,
+		AnalyzerCOWWrite,
+		AnalyzerChecksumWidth,
+		AnalyzerCtxFlow,
+	}
+}
+
+// ByName resolves a subset of the suite by analyzer name; unknown names
+// are reported in the error.
+func ByName(names []string) ([]*Analyzer, error) {
+	all := Analyzers()
+	if len(names) == 0 {
+		return all, nil
+	}
+	index := map[string]*Analyzer{}
+	for _, a := range all {
+		index[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range names {
+		a, ok := index[n]
+		if !ok {
+			return nil, &UnknownAnalyzerError{Name: n}
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// UnknownAnalyzerError reports a -run name that matches no analyzer.
+type UnknownAnalyzerError struct{ Name string }
+
+func (e *UnknownAnalyzerError) Error() string {
+	return "unknown analyzer " + e.Name
+}

@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerCOWWrite enforces the copy-on-write discipline of CloneShared
+// worker models (PR 1): campaign workers share parameter storage with
+// the parent model, so every in-place weight mutation must flow through
+// Model.LayerForWrite, which privatizes the targeted tensor first. A
+// weight obtained from Model.Layer or LinearLayers is a read-only alias —
+// flipping bits or setting elements through it would corrupt the parent
+// and every sibling worker.
+var AnalyzerCOWWrite = &Analyzer{
+	Name: "cowwrite",
+	Doc:  "weight mutation in worker/trial code must flow through LayerForWrite",
+	Scope: []string{
+		"internal/core",
+		"internal/faults",
+		"internal/experiments",
+		"internal/mitigate",
+	},
+	Run: runCOWWrite,
+}
+
+func runCOWWrite(p *Pass) {
+	forEachFunc(p.Package, func(decl *ast.FuncDecl, body *ast.BlockStmt) {
+		p.checkCOWFunc(body)
+	})
+}
+
+// checkCOWFunc tracks, with function-local dataflow, which weight
+// variables are read-only aliases (from Layer / LinearLayers) and flags
+// mutating calls through them. Aliases reassigned from LayerForWrite
+// become writable again.
+func (p *Pass) checkCOWFunc(body *ast.BlockStmt) {
+	readonly := map[types.Object]bool{}
+
+	// First pass: classify weight-typed variables by provenance, in
+	// source order (good enough for the straight-line arm/flip sequences
+	// this invariant lives in).
+	ast.Inspect(body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok || len(asg.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(asg.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, recv := methodCall(call)
+		if !typeNamed(p.typeOf(recv), "Model") {
+			return true
+		}
+		var ro bool
+		switch name {
+		case "Layer":
+			ro = true
+		case "LayerForWrite":
+			ro = false
+		default:
+			return true
+		}
+		if id, ok := ast.Unparen(asg.Lhs[0]).(*ast.Ident); ok && id.Name != "_" {
+			if obj := p.objOf(id); obj != nil {
+				readonly[obj] = ro
+			}
+		}
+		return true
+	})
+
+	// Second pass: flag mutations through read-only aliases, and
+	// mutations through LayerInfo.Weight (the LinearLayers enumeration),
+	// which never hands out writable weights.
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, recv := methodCall(call)
+		switch name {
+		case "FlipBits":
+		case "Set", "Fill":
+			if !typeNamed(p.typeOf(recv), "Tensor", "Dense") {
+				return true
+			}
+		default:
+			return true
+		}
+		root := rootIdent(recv)
+		if root == nil {
+			return true
+		}
+		switch obj := p.objOf(root); {
+		case obj != nil && readonly[obj]:
+			p.Reportf(call.Pos(), "%s through a weight obtained from Model.Layer: on a CloneShared worker this mutates the parent's shared tensor — use LayerForWrite, which privatizes it first", name)
+		case p.viaLayerInfo(recv):
+			p.Reportf(call.Pos(), "%s through LayerInfo.Weight: LinearLayers enumerates read-only aliases — resolve a writable weight with LayerForWrite", name)
+		}
+		return true
+	})
+}
+
+// viaLayerInfo reports whether the receiver chain passes a
+// LayerInfo.Weight selection (li.Weight.FlipBits, infos[i].Weight.Set).
+func (p *Pass) viaLayerInfo(e ast.Expr) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			if x.Sel.Name == "Weight" && typeNamed(p.typeOf(x.X), "LayerInfo") {
+				return true
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.TypeAssertExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}

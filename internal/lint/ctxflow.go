@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerCtxFlow enforces the cancellation contract of the streaming
+// runtime (PR 2): exported blocking entry points — Run-like functions —
+// take a context.Context as their first parameter, and when the function
+// body loops (trial loops, token loops, event pumps) at least one loop
+// must consult the context (ctx.Err / ctx.Done / passing ctx onward), so
+// a cancelled campaign stops within one iteration instead of running to
+// completion.
+var AnalyzerCtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "exported Run-like functions take ctx first and check it inside loops",
+	Scope: []string{
+		"internal/core",
+		"internal/experiments",
+	},
+	Run: runCtxFlow,
+}
+
+// isRunLike matches the blocking entry-point names the contract covers.
+func isRunLike(name string) bool {
+	return name == "Run" || name == "Resume" || name == "Stream" ||
+		strings.HasPrefix(name, "Run")
+}
+
+func runCtxFlow(p *Pass) {
+	forEachFunc(p.Package, func(decl *ast.FuncDecl, body *ast.BlockStmt) {
+		name := decl.Name.Name
+		if !ast.IsExported(name) || !isRunLike(name) {
+			return
+		}
+		params := p.sigParamTypes(decl.Type)
+		if len(params) == 0 || !isContextType(params[0]) {
+			p.Reportf(decl.Name.Pos(), "exported blocking function %s must take a context.Context as its first parameter so campaigns stay cancellable", name)
+			return
+		}
+		objs := p.paramObjs(decl.Type)
+		if len(objs) == 0 || objs[0] == nil {
+			// Unnamed ctx parameter: it cannot be consulted at all.
+			if p.hasLoop(body) {
+				p.Reportf(decl.Name.Pos(), "%s discards its context (unnamed parameter) but contains loops: check ctx in the loop so cancellation stops the work", name)
+			}
+			return
+		}
+		ctxObj := objs[0]
+		if p.hasLoop(body) && !p.loopConsultsCtx(body, ctxObj) {
+			p.Reportf(decl.Name.Pos(), "%s loops without consulting its context: check ctx.Err/ctx.Done (or pass ctx to the loop body's callees) so cancellation stops within one iteration", name)
+		}
+	})
+}
+
+// isContextType matches context.Context.
+func isContextType(t types.Type) bool {
+	n := namedBase(t)
+	return n != nil && n.Obj().Name() == "Context" &&
+		n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "context"
+}
+
+// hasLoop reports whether body contains any for/range statement.
+func (p *Pass) hasLoop(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// loopConsultsCtx reports whether any loop in body references ctxObj —
+// a cancellation check or passing the context to a callee that performs
+// one.
+func (p *Pass) loopConsultsCtx(body *ast.BlockStmt, ctxObj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		var b *ast.BlockStmt
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			b = n.Body
+		case *ast.RangeStmt:
+			b = n.Body
+		default:
+			return true
+		}
+		ast.Inspect(b, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok && p.objOf(id) == ctxObj {
+				found = true
+			}
+			return !found
+		})
+		return !found
+	})
+	return found
+}

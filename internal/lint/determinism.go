@@ -1,0 +1,239 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// deterministicScope is the campaign hot path: every value that can reach
+// a Result, a checkpoint, or a trial outcome is computed inside these
+// packages, so any order- or clock-dependence here breaks the paper's
+// §3.3.4 guarantee that clean and faulty runs visit identical injection
+// sites and that checkpoint/resume is bit-identical.
+var deterministicScope = []string{
+	"internal/core",
+	"internal/faults",
+	"internal/gen",
+	"internal/model",
+	"internal/experiments",
+	"internal/abft",
+}
+
+// AnalyzerDeterminism flags nondeterminism sources in the campaign hot
+// path: wall-clock reads (time.Now/Since/Until — allowed only in
+// telemetry/progress code, which must carry an explicit allow
+// annotation), math/rand imports (all campaign randomness must derive
+// from the splittable internal/prng streams), and ranges over maps whose
+// body is order-sensitive (floating-point accumulation, appends, or
+// writes not keyed by the iteration key).
+var AnalyzerDeterminism = &Analyzer{
+	Name:  "determinism",
+	Doc:   "forbid wall-clock, math/rand, and order-sensitive map iteration in campaign code",
+	Scope: deterministicScope,
+	Run:   runDeterminism,
+}
+
+func runDeterminism(p *Pass) {
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path == "math/rand" || path == "math/rand/v2" {
+				p.Reportf(imp.Pos(), "import of %s in deterministic campaign code: derive randomness from the splittable internal/prng streams instead", path)
+			}
+		}
+		sorted := p.sortCallTargets(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				for _, fn := range [...]string{"Now", "Since", "Until"} {
+					if p.isPkgFunc(n, "time", fn) {
+						p.Reportf(n.Pos(), "wall-clock read time.%s in deterministic campaign code: results must be a pure function of the campaign seed (telemetry-only timing needs //llmfi:allow determinism <reason>)", fn)
+					}
+				}
+			case *ast.RangeStmt:
+				p.checkMapRange(n, sorted)
+			}
+			return true
+		})
+	}
+}
+
+// sortCallTargets maps each object passed as the first argument of a
+// sort call to the call positions. A slice populated in map iteration
+// order and sorted afterwards is order-independent — the ubiquitous
+// collect-keys-then-sort idiom — so map-range appends to such slices
+// are exempt.
+func (p *Pass) sortCallTargets(f *ast.File) map[types.Object][]token.Pos {
+	out := map[types.Object][]token.Pos{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 || !p.isSortCall(call) {
+			return true
+		}
+		if root := rootIdent(call.Args[0]); root != nil {
+			if obj := p.objOf(root); obj != nil {
+				out[obj] = append(out[obj], call.Pos())
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isSortCall matches the stdlib sorting entry points.
+func (p *Pass) isSortCall(call *ast.CallExpr) bool {
+	for _, fn := range [...]string{"Slice", "SliceStable", "Sort", "Stable", "Ints", "Strings", "Float64s"} {
+		if p.isPkgFunc(call, "sort", fn) {
+			return true
+		}
+	}
+	for _, fn := range [...]string{"Sort", "SortFunc", "SortStableFunc"} {
+		if p.isPkgFunc(call, "slices", fn) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkMapRange flags order-sensitive statements inside a range over a
+// map. Per-key effects (writes indexed by the iteration key) and
+// commutative integer accumulation are order-independent and pass;
+// anything whose result can depend on Go's randomized map iteration
+// order is a finding.
+func (p *Pass) checkMapRange(rng *ast.RangeStmt, sorted map[types.Object][]token.Pos) {
+	if rng.X == nil {
+		return
+	}
+	t := p.typeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	keyObj := p.rangeVarObj(rng.Key)
+	valObj := p.rangeVarObj(rng.Value)
+
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A closure defined in the body runs later (or not at all);
+			// its statements are not iteration-order effects.
+			return false
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				if n.Tok == token.ASSIGN && i < len(n.Rhs) && p.appendToSorted(lhs, n.Rhs[i], sorted) {
+					continue
+				}
+				p.checkMapRangeWrite(rng, n.Tok, lhs, keyObj)
+			}
+		case *ast.IncDecStmt:
+			p.checkMapRangeWrite(rng, token.ADD_ASSIGN, n.X, keyObj)
+		case *ast.SendStmt:
+			p.Reportf(n.Pos(), "channel send inside range over map: delivery order follows the randomized iteration order")
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if p.usesObj(res, keyObj) || p.usesObj(res, valObj) {
+					p.Reportf(n.Pos(), "return of map iteration key/value: which entry is returned depends on the randomized iteration order")
+					break
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkMapRangeWrite flags one left-hand side inside a map-range body
+// when the write is order-sensitive.
+func (p *Pass) checkMapRangeWrite(rng *ast.RangeStmt, tok token.Token, lhs ast.Expr, keyObj types.Object) {
+	if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+		return
+	}
+	// Writes indexed by the iteration key touch a distinct location per
+	// iteration: m2[k] = ..., m2[k] = append(m2[k], ...).
+	if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok && keyObj != nil {
+		if id, ok := ast.Unparen(idx.Index).(*ast.Ident); ok && p.objOf(id) == keyObj {
+			return
+		}
+	}
+	root := rootIdent(lhs)
+	if root == nil {
+		return
+	}
+	obj := p.objOf(root)
+	if obj == nil || declaredWithin(obj, rng.Body) {
+		return
+	}
+	lhsType := p.typeOf(lhs)
+	// Commutative integer/bool accumulation is order-independent.
+	switch tok {
+	case token.ADD_ASSIGN, token.MUL_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+		if isInteger(lhsType) {
+			return
+		}
+		if isFloat(lhsType) {
+			p.Reportf(lhs.Pos(), "floating-point accumulation over map iteration order: float addition is not associative, so the sum depends on the randomized order")
+			return
+		}
+	}
+	p.Reportf(lhs.Pos(), "write to %s inside range over map: the final value can depend on the randomized iteration order (iterate sorted keys, or key the write by the iteration variable)", root.Name)
+}
+
+// appendToSorted reports whether lhs = rhs is a self-append to a slice
+// that a later sort call puts in deterministic order
+// (xs = append(xs, k) ... sort.Ints(xs)).
+func (p *Pass) appendToSorted(lhs, rhs ast.Expr, sorted map[types.Object][]token.Pos) bool {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	if fn, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || fn.Name != "append" {
+		return false
+	}
+	root := rootIdent(lhs)
+	if root == nil {
+		return false
+	}
+	obj := p.objOf(root)
+	if obj == nil {
+		return false
+	}
+	if arg := rootIdent(call.Args[0]); arg == nil || p.objOf(arg) != obj {
+		return false
+	}
+	for _, pos := range sorted[obj] {
+		if pos > lhs.Pos() {
+			return true
+		}
+	}
+	return false
+}
+
+// rangeVarObj resolves the object of a range key/value identifier.
+func (p *Pass) rangeVarObj(e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	return p.objOf(id)
+}
+
+// usesObj reports whether e references obj.
+func (p *Pass) usesObj(e ast.Expr, obj types.Object) bool {
+	if obj == nil || e == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && p.objOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,182 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// modelStateTypes are the named types whose reachable memory belongs to
+// the model: a store through any of them from inside a hook would let an
+// observer perturb the computation it observes.
+var modelStateTypes = []string{"Model", "Block", "MLPWeights", "Tensor", "Dense", "Weight"}
+
+// AnalyzerHookPurity enforces the "observational by construction"
+// contract of forward hooks and linear checkers: a hook may read layer
+// outputs and mutate its own output row (that is how fault injection and
+// mitigation work), but a store that reaches model-owned memory — weight
+// tensors, blocks, the model struct — is a finding, as is a checker
+// writing to its input activation row. PR 4's golden-equivalence tests
+// catch such violations after the fact; this catches them at review.
+var AnalyzerHookPurity = &Analyzer{
+	Name: "hookpurity",
+	Doc:  "hooks and checkers may write only their own output row, never model-reachable state",
+	Run:  runHookPurity,
+}
+
+func runHookPurity(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body == nil {
+					return true
+				}
+				if p.isHookSignature(n.Type) {
+					p.checkHookBody(n.Body, p.hookParams(n.Type, 2, -1))
+					return false
+				}
+				if n.Name.Name == "CheckLinear" && p.isCheckerSignature(n.Type) {
+					p.checkHookBody(n.Body, p.hookParams(n.Type, 4, 3))
+					return false
+				}
+			case *ast.FuncLit:
+				if p.isHookSignature(n.Type) {
+					p.checkHookBody(n.Body, p.hookParams(n.Type, 2, -1))
+					return false
+				}
+			}
+			return true
+		})
+	}
+}
+
+// hookCtx carries the parameter objects the purity rules special-case:
+// out may be written (in place is the injection/mitigation mechanism),
+// in must not be.
+type hookCtx struct {
+	out types.Object
+	in  types.Object
+}
+
+// hookParams resolves the out (and for checkers, in) parameter objects.
+func (p *Pass) hookParams(ft *ast.FuncType, outIdx, inIdx int) hookCtx {
+	objs := p.paramObjs(ft)
+	var hc hookCtx
+	if outIdx >= 0 && outIdx < len(objs) {
+		hc.out = objs[outIdx]
+	}
+	if inIdx >= 0 && inIdx < len(objs) {
+		hc.in = objs[inIdx]
+	}
+	return hc
+}
+
+// isHookSignature matches model.Hook: func(LayerRef, int, []float32).
+func (p *Pass) isHookSignature(ft *ast.FuncType) bool {
+	if ft.Results != nil && len(ft.Results.List) > 0 {
+		return false
+	}
+	params := p.sigParamTypes(ft)
+	return len(params) == 3 &&
+		typeNamed(params[0], "LayerRef") &&
+		basicKind(params[1]) == types.Int &&
+		isSliceOf(params[2], types.Float32)
+}
+
+// isCheckerSignature matches model.LinearChecker.CheckLinear:
+// func(LayerRef, int, Weight, in, out []float32).
+func (p *Pass) isCheckerSignature(ft *ast.FuncType) bool {
+	params := p.sigParamTypes(ft)
+	return len(params) == 5 &&
+		typeNamed(params[0], "LayerRef") &&
+		basicKind(params[1]) == types.Int &&
+		isSliceOf(params[3], types.Float32) &&
+		isSliceOf(params[4], types.Float32)
+}
+
+// checkHookBody walks one hook/checker body for impure stores.
+func (p *Pass) checkHookBody(body *ast.BlockStmt, hc hookCtx) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				p.checkHookWrite(lhs, hc)
+			}
+		case *ast.IncDecStmt:
+			p.checkHookWrite(n.X, hc)
+		case *ast.CallExpr:
+			p.checkHookCall(n)
+		}
+		return true
+	})
+}
+
+// checkHookWrite flags a store whose target is model-reachable or the
+// checker's input row.
+func (p *Pass) checkHookWrite(lhs ast.Expr, hc hookCtx) {
+	if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+		return
+	}
+	if root := rootIdent(lhs); root != nil {
+		obj := p.objOf(root)
+		if obj != nil && obj == hc.out {
+			// Writing the own output row is the sanctioned mechanism
+			// (fault hooks corrupt it, mitigations repair it).
+			return
+		}
+		if obj != nil && hc.in != nil && obj == hc.in {
+			p.Reportf(lhs.Pos(), "checker writes its input activation row: CheckLinear may repair out in place but must leave in untouched")
+			return
+		}
+	}
+	// A store is impure when the reference chain it writes through
+	// passes model-owned memory (weights, blocks, tensors).
+	if via := p.modelTypedSubexpr(lhs); via != "" {
+		p.Reportf(lhs.Pos(), "hook stores to model-reachable memory (through %s): hooks observe the forward pass and may mutate only their own output row", via)
+	}
+}
+
+// checkHookCall flags calls that mutate weights from inside a hook.
+// Only method calls on model-owned types count: a pure value-level
+// helper like numerics.FlipBits mutates nothing.
+func (p *Pass) checkHookCall(call *ast.CallExpr) {
+	name, recv := methodCall(call)
+	switch name {
+	case "FlipBits":
+		if typeNamed(p.typeOf(recv), modelStateTypes...) {
+			p.Reportf(call.Pos(), "hook calls FlipBits: weight mutation belongs to the fault injector (faults.Arm), never to an observer hook")
+		}
+	case "Set", "Fill":
+		if typeNamed(p.typeOf(recv), "Tensor", "Dense") {
+			p.Reportf(call.Pos(), "hook calls %s on a weight tensor: hooks must not mutate model parameters", name)
+		}
+	}
+}
+
+// modelTypedSubexpr reports the first step of an expression's reference
+// chain whose type is model-owned (Model, Block, Tensor, Weight, ...),
+// rendering it for the message; "" when the chain never touches one.
+func (p *Pass) modelTypedSubexpr(e ast.Expr) string {
+	for {
+		if typeNamed(p.typeOf(e), modelStateTypes...) {
+			if n := namedBase(p.typeOf(e)); n != nil {
+				return "a " + n.Obj().Name() + " value"
+			}
+			return "model state"
+		}
+		switch x := e.(type) {
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.TypeAssertExpr:
+			e = x.X
+		default:
+			return ""
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package lint
+
+import "testing"
+
+func TestHasPathSuffix(t *testing.T) {
+	cases := []struct {
+		path, suffix string
+		want         bool
+	}{
+		{"repro/internal/core", "internal/core", true},
+		{"internal/core", "internal/core", true},
+		{"repro/internal/corex", "internal/core", false},
+		{"repro/xinternal/core", "internal/core", false},
+		{"repro/internal/core/sub", "internal/core", false},
+		{"core", "internal/core", false},
+	}
+	for _, c := range cases {
+		if got := hasPathSuffix(c.path, c.suffix); got != c.want {
+			t.Errorf("hasPathSuffix(%q, %q) = %v, want %v", c.path, c.suffix, got, c.want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	all, err := ByName(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 5 {
+		t.Fatalf("expected 5 analyzers, got %d", len(all))
+	}
+	sub, err := ByName([]string{"cowwrite", "determinism"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub) != 2 || sub[0].Name != "cowwrite" || sub[1].Name != "determinism" {
+		t.Fatalf("unexpected subset: %+v", sub)
+	}
+	if _, err := ByName([]string{"nope"}); err == nil {
+		t.Fatal("expected error for unknown analyzer")
+	}
+}
+
+func TestAnalyzerScopes(t *testing.T) {
+	pkgIn := &Package{Path: "repro/internal/core", scoped: map[string]bool{}}
+	pkgOut := &Package{Path: "repro/internal/report", scoped: map[string]bool{}}
+	pkgOpted := &Package{Path: "anything", scoped: map[string]bool{"determinism": true}}
+	a := AnalyzerDeterminism
+	if !a.inScope(pkgIn) {
+		t.Error("internal/core should be in determinism scope")
+	}
+	if a.inScope(pkgOut) {
+		t.Error("internal/report should be outside determinism scope")
+	}
+	if !a.inScope(pkgOpted) {
+		t.Error("//llmfi:scope should opt a package in")
+	}
+	if !AnalyzerHookPurity.inScope(pkgOut) {
+		t.Error("nil scope should apply everywhere")
+	}
+}

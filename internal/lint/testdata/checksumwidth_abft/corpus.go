@@ -1,0 +1,25 @@
+//llmfi:scope checksumwidth
+
+// Package abft exercises the checksumwidth analyzer's package-name gate:
+// in a package named abft, every function is checksum math, so even a
+// helper with no checksum-ish name is checked.
+package abft
+
+// accumulate has no checksum-marker in its name but lives in package
+// abft: flagged anyway.
+func accumulate(xs []float32) float32 {
+	var s float32
+	for _, x := range xs {
+		s += x // want `float32 checksum accumulator`
+	}
+	return s
+}
+
+// accumulate64 is the correct width.
+func accumulate64(xs []float32) float64 {
+	var s float64
+	for _, x := range xs {
+		s += float64(x)
+	}
+	return s
+}

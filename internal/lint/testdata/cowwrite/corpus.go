@@ -1,0 +1,71 @@
+//llmfi:scope cowwrite
+
+// Package cowwrite is the linter corpus for the cowwrite analyzer: weight
+// mutation in worker/trial code must flow through Model.LayerForWrite.
+package cowwrite
+
+type LayerRef struct{ Block, Kind int }
+
+type Tensor struct{ data []float32 }
+
+func (t *Tensor) Set(i, j int, v float64) {}
+
+type Weight interface {
+	FlipBits(i, j int, bits []int) func()
+	Get(i, j int) float64
+}
+
+type LayerInfo struct {
+	Ref    LayerRef
+	Weight Weight
+}
+
+type Model struct{}
+
+func (m *Model) Layer(ref LayerRef) (Weight, error)         { return nil, nil }
+func (m *Model) LayerForWrite(ref LayerRef) (Weight, error) { return nil, nil }
+func (m *Model) LinearLayers() []LayerInfo                  { return nil }
+
+// flipReadOnly mutates through a Layer alias: on a CloneShared worker
+// that flips the parent's shared tensor.
+func flipReadOnly(m *Model, ref LayerRef) {
+	w, _ := m.Layer(ref)
+	restore := w.FlipBits(0, 0, []int{14}) // want `FlipBits through a weight obtained from Model.Layer`
+	restore()
+}
+
+// flipWritable privatizes first: the sanctioned path.
+func flipWritable(m *Model, ref LayerRef) {
+	w, _ := m.LayerForWrite(ref)
+	restore := w.FlipBits(0, 0, []int{14})
+	restore()
+}
+
+// readThroughLayer only reads: Layer aliases are fine for that.
+func readThroughLayer(m *Model, ref LayerRef) float64 {
+	w, _ := m.Layer(ref)
+	return w.Get(0, 0)
+}
+
+// flipViaEnumeration mutates through LinearLayers, which only hands out
+// read-only aliases.
+func flipViaEnumeration(m *Model) {
+	for _, li := range m.LinearLayers() {
+		li.Weight.FlipBits(0, 0, []int{14}) // want `FlipBits through LayerInfo.Weight`
+	}
+}
+
+// flipSuppressed demonstrates an honored suppression.
+func flipSuppressed(m *Model, ref LayerRef) {
+	w, _ := m.Layer(ref)
+	w.FlipBits(0, 0, nil) //llmfi:allow cowwrite corpus case: an honored suppression
+}
+
+// reclassified shows an alias becoming writable when reassigned from
+// LayerForWrite (function-local provenance, source order).
+func reclassified(m *Model, ref LayerRef) {
+	w, _ := m.Layer(ref)
+	_ = w.Get(0, 0)
+	w, _ = m.LayerForWrite(ref)
+	w.FlipBits(0, 0, []int{1})
+}

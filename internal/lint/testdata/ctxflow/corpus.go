@@ -1,0 +1,76 @@
+//llmfi:scope ctxflow
+
+// Package ctxflow is the linter corpus for the ctxflow analyzer:
+// exported Run-like entry points take a context first and consult it
+// from their loops.
+package ctxflow
+
+import "context"
+
+func work(i int) {}
+
+// RunMissingCtx is exported and Run-like but takes no context.
+func RunMissingCtx(n int) { // want `must take a context.Context as its first parameter`
+	for i := 0; i < n; i++ {
+		work(i)
+	}
+}
+
+// RunNoCheck takes the context but never consults it from the loop.
+func RunNoCheck(ctx context.Context, n int) { // want `loops without consulting its context`
+	for i := 0; i < n; i++ {
+		work(i)
+	}
+}
+
+// RunChecked polls ctx.Err each iteration: the sanctioned shape.
+func RunChecked(ctx context.Context, n int) error {
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		work(i)
+	}
+	return nil
+}
+
+// RunForwarded passes ctx to the loop body's callee, which performs the
+// check: also sanctioned.
+func RunForwarded(ctx context.Context, n int) error {
+	for i := 0; i < n; i++ {
+		if err := step(ctx, i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func step(ctx context.Context, i int) error { return ctx.Err() }
+
+// RunDiscarded cannot consult a context it never names.
+func RunDiscarded(context.Context, int) { // want `discards its context`
+	for {
+		return
+	}
+}
+
+// Stream is Run-like by name but loop-free: nothing to consult from.
+func Stream(ctx context.Context) {}
+
+// runInternal is unexported: the contract covers exported entry points.
+func runInternal(n int) {
+	for i := 0; i < n; i++ {
+		work(i)
+	}
+}
+
+// Runtime is exported and Run-prefixed without being a blocking entry
+// point; with no loops and a context first, it is clean.
+func Runtime(ctx context.Context) error { return ctx.Err() }
+
+// RunSuppressed demonstrates an honored suppression.
+func RunSuppressed(n int) { //llmfi:allow ctxflow corpus case: an honored suppression
+	for i := 0; i < n; i++ {
+		work(i)
+	}
+}

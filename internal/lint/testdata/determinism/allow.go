@@ -1,0 +1,21 @@
+//llmfi:scope determinism
+
+package determinism
+
+import "time"
+
+// MissingReason carries an allow without the mandatory reason: the
+// annotation itself is a finding and suppresses nothing, so the
+// wall-clock read surfaces too.
+func MissingReason() time.Time {
+	return time.Now() /* want `needs a reason` `wall-clock read time.Now` */ //llmfi:allow determinism
+}
+
+// UnknownName names an analyzer that does not exist: the typo is a
+// finding (it would otherwise silently suppress nothing) and the
+// wall-clock read survives.
+func UnknownName() time.Time {
+	return time.Now() /* want `unknown analyzer` `wall-clock read time.Now` */ //llmfi:allow nosuchcheck looks plausible but suppresses nothing
+}
+
+/* want `needs an analyzer name and a reason` */ //llmfi:allow

@@ -1,0 +1,112 @@
+//llmfi:scope determinism
+
+// Package determinism is the linter corpus for the determinism
+// analyzer: wall-clock reads, math/rand imports, and order-sensitive
+// map iteration.
+package determinism
+
+import (
+	"math/rand" // want `import of math/rand in deterministic campaign code`
+	"sort"
+	"time"
+)
+
+var _ = rand.Int
+
+// Timestamp reads the wall clock without an allowance.
+func Timestamp() time.Time {
+	return time.Now() // want `wall-clock read time.Now`
+}
+
+// Elapsed reads the wall clock through Since.
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `wall-clock read time.Since`
+}
+
+// AllowedTimestamp carries the sanctioned annotation and is suppressed.
+func AllowedTimestamp() time.Time {
+	return time.Now() //llmfi:allow determinism corpus case: an honored suppression
+}
+
+// FPAccum sums floats in map order: not associative, flagged.
+func FPAccum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `floating-point accumulation over map iteration order`
+	}
+	return sum
+}
+
+// IntAccum is commutative integer accumulation: order-independent.
+func IntAccum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// KeyedWrite touches a distinct location per iteration: clean.
+func KeyedWrite(m map[string]int) map[string]int {
+	out := map[string]int{}
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	return out
+}
+
+// CollectSort is the collect-keys-then-sort idiom: clean.
+func CollectSort(m map[int]bool) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// CollectNoSort appends in map order and never sorts: flagged.
+func CollectNoSort(m map[int]bool) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k) // want `write to keys inside range over map`
+	}
+	return keys
+}
+
+// SendOrder delivers map entries on a channel in iteration order.
+func SendOrder(m map[int]bool, ch chan int) {
+	for k := range m {
+		ch <- k // want `channel send inside range over map`
+	}
+}
+
+// PickAny returns whichever entry the randomized iteration visits first.
+func PickAny(m map[int]bool) int {
+	for k := range m {
+		return k // want `return of map iteration key/value`
+	}
+	return 0
+}
+
+// LocalOK only mutates state declared inside the loop body: clean.
+func LocalOK(m map[int]int) {
+	for _, v := range m {
+		x := v * 2
+		x++
+		_ = x
+	}
+}
+
+// ClosureOK defines (but does not run) closures in the body: the float
+// accumulation inside them is not an iteration-order effect, so the
+// only finding is the unsorted append that collects them.
+func ClosureOK(m map[int]float64) []func() float64 {
+	var fns []func() float64
+	total := 0.0
+	for _, v := range m {
+		v := v
+		fns = append(fns, func() float64 { total += v; return total }) // want `write to fns inside range over map`
+	}
+	return fns
+}

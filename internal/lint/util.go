@@ -1,0 +1,206 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// namedBase unwraps pointers and aliases and returns the named type
+// behind t, or nil.
+func namedBase(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		if n, ok := p.Elem().(*types.Named); ok {
+			return n
+		}
+	}
+	return nil
+}
+
+// typeNamed reports whether t (possibly behind a pointer) is a named
+// type with one of the given names, regardless of package. Name-based
+// matching keeps the analyzers applicable to the self-contained corpus
+// packages, which mirror the real types without importing them.
+func typeNamed(t types.Type, names ...string) bool {
+	n := namedBase(t)
+	if n == nil {
+		return false
+	}
+	got := n.Obj().Name()
+	for _, want := range names {
+		if got == want {
+			return true
+		}
+	}
+	return false
+}
+
+// isSliceOf reports whether t is a slice whose element type has the
+// given basic kind.
+func isSliceOf(t types.Type, kind types.BasicKind) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == kind
+}
+
+// basicKind returns the basic kind of t's underlying type, or
+// types.Invalid.
+func basicKind(t types.Type) types.BasicKind {
+	if t == nil {
+		return types.Invalid
+	}
+	if b, ok := t.Underlying().(*types.Basic); ok {
+		return b.Kind()
+	}
+	return types.Invalid
+}
+
+// isInteger reports whether t is any integer type.
+func isInteger(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// isFloat reports whether t is float32 or float64.
+func isFloat(t types.Type) bool {
+	k := basicKind(t)
+	return k == types.Float32 || k == types.Float64
+}
+
+// rootIdent unwraps index, selector, star, and paren expressions and
+// returns the identifier at the base of the reference chain (the x of
+// x.f[i].g), or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.TypeAssertExpr:
+			e = x.X
+		case *ast.CallExpr:
+			e = x.Fun
+		default:
+			return nil
+		}
+	}
+}
+
+// objOf resolves the object an identifier refers to (use or def).
+func (p *Pass) objOf(id *ast.Ident) types.Object {
+	if o := p.Info.Uses[id]; o != nil {
+		return o
+	}
+	return p.Info.Defs[id]
+}
+
+// typeOf is Info.TypeOf, tolerant of nil.
+func (p *Pass) typeOf(e ast.Expr) types.Type {
+	if e == nil {
+		return nil
+	}
+	return p.Info.TypeOf(e)
+}
+
+// calleeFunc resolves the *types.Func a call invokes (method or
+// package-level function), or nil for indirect calls through variables.
+func (p *Pass) calleeFunc(call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if f, ok := p.objOf(fun.Sel).(*types.Func); ok {
+			return f
+		}
+	case *ast.Ident:
+		if f, ok := p.objOf(fun).(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// isPkgFunc reports whether call invokes the package-level function
+// pkgPath.name (e.g. "time".Now).
+func (p *Pass) isPkgFunc(call *ast.CallExpr, pkgPath, name string) bool {
+	f := p.calleeFunc(call)
+	if f == nil || f.Name() != name || f.Pkg() == nil {
+		return false
+	}
+	return f.Pkg().Path() == pkgPath && f.Type().(*types.Signature).Recv() == nil
+}
+
+// methodCall returns the selector name of a method-style call ("Set" in
+// w.Set(...)), together with the receiver expression, or "" when the
+// call is not selector-shaped.
+func methodCall(call *ast.CallExpr) (name string, recv ast.Expr) {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return sel.Sel.Name, sel.X
+	}
+	return "", nil
+}
+
+// paramObjs returns the declared objects of a function's parameters in
+// order (nil entries for unnamed or blank parameters).
+func (p *Pass) paramObjs(ft *ast.FuncType) []types.Object {
+	var out []types.Object
+	if ft.Params == nil {
+		return out
+	}
+	for _, field := range ft.Params.List {
+		if len(field.Names) == 0 {
+			out = append(out, nil)
+			continue
+		}
+		for _, name := range field.Names {
+			out = append(out, p.Info.Defs[name])
+		}
+	}
+	return out
+}
+
+// sigParamTypes flattens the parameter types of a function type
+// expression as the type checker resolved them.
+func (p *Pass) sigParamTypes(ft *ast.FuncType) []types.Type {
+	var out []types.Type
+	if ft.Params == nil {
+		return out
+	}
+	for _, field := range ft.Params.List {
+		t := p.typeOf(field.Type)
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// declaredWithin reports whether obj's declaration position lies inside
+// node — "is this variable local to the loop/function body".
+func declaredWithin(obj types.Object, node ast.Node) bool {
+	return obj != nil && node != nil &&
+		obj.Pos() != 0 && obj.Pos() >= node.Pos() && obj.Pos() <= node.End()
+}
