@@ -29,20 +29,23 @@ test:
 race:
 	$(GO) test -race ./...
 	GORACE=halt_on_error=1 $(GO) test -race -count=1 \
-		-run '^Test(Runner|Trace|Resume|Checkpoint)' ./internal/core/
+		-run '^Test(Runner|Trace|Resume|Checkpoint|Batched)' ./internal/core/
 
 ## bench: the campaign throughput benchmarks (Figure reproductions live
 ## in bench_test.go at the repo root), plus the machine-readable runtime
 ## comparisons: seed path vs prefix engine vs streaming runner
 ## (BENCH_2.json), ABFT off vs site-only vs all-layer checking
-## (BENCH_3.json), and tracing off vs sampled vs every-trial probes
-## (BENCH_4.json). Works from a fresh clone: prior BENCH_*.json files
-## are not required, and the final dump tolerates any that are missing.
+## (BENCH_3.json), tracing off vs sampled vs every-trial probes
+## (BENCH_4.json), and serial vs continuous-batching decode at widths
+## 8/16/32 (BENCH_5.json). Works from a fresh clone: prior BENCH_*.json
+## files are not required, and the final dump tolerates any that are
+## missing.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
 	BENCH_JSON_OUT=$(CURDIR)/BENCH_2.json $(GO) test -run '^TestEmitBenchJSON$$' -v ./internal/core/
 	BENCH3_JSON_OUT=$(CURDIR)/BENCH_3.json $(GO) test -run '^TestEmitABFTBenchJSON$$' -v ./internal/core/
 	BENCH4_JSON_OUT=$(CURDIR)/BENCH_4.json $(GO) test -run '^TestEmitTraceBenchJSON$$' -v ./internal/core/
+	BENCH5_JSON_OUT=$(CURDIR)/BENCH_5.json $(GO) test -run '^TestEmitBatchBenchJSON$$' -v ./internal/core/
 	@for f in $(CURDIR)/BENCH_*.json; do [ -f "$$f" ] && cat "$$f" || true; done
 
 ## fuzz: short smoke sessions of the fuzz targets (also run in CI).

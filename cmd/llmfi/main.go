@@ -31,6 +31,14 @@
 //
 //	llmfi -suite wmt16-like -model QwenS -fault 2bits-comp -trace traces.jsonl -trace-sample 16
 //	llmfi -suite wmt16-like -model QwenS -trials 5000 -progress -http :9090
+//
+// -decode-batch N turns on continuous-batching decode: each worker
+// keeps up to N trials in flight through one stacked forward pass per
+// token. Results are bit-identical to the serial path; campaigns the
+// batched scheduler cannot express (multiple-choice, memory faults,
+// beam search) fall back to serial automatically:
+//
+//	llmfi -suite wmt16-like -model QwenS -fault 2bits-comp -decode-batch 16
 package main
 
 import (
@@ -69,6 +77,7 @@ examples:
   llmfi -suite wmt16-like -model moe -fault 2bits-mem -abft -abft-policy correct-skip
   llmfi -suite wmt16-like -model QwenS -fault 2bits-comp -trace traces.jsonl -trace-sample 16
   llmfi -suite wmt16-like -model QwenS -trials 5000 -progress -http :9090
+  llmfi -suite wmt16-like -model QwenS -fault 2bits-comp -decode-batch 16
   llmfi -list
 `
 
@@ -87,6 +96,7 @@ func main() {
 		dtypeName = flag.String("dtype", "", "override datatype for dense models: FP16|FP32|BF16")
 		dir       = flag.String("pretrained", "", "checkpoint directory (default: auto-locate)")
 		workers   = flag.Int("workers", 0, "campaign worker pool size (0 = GOMAXPROCS)")
+		batchDec  = flag.Int("decode-batch", 0, "continuous-batching decode width per worker (<=1 = serial; results are bit-identical)")
 		ckptPath  = flag.String("checkpoint", "", "persist completed trials to this file (periodically and on SIGINT)")
 		ckptEvery = flag.Int("checkpoint-every", 64, "completed trials between periodic checkpoint writes")
 		resume    = flag.String("resume", "", "resume from this checkpoint file, skipping completed trials")
@@ -139,6 +149,7 @@ func main() {
 
 	opts := []core.Option{
 		core.WithWorkers(*workers),
+		core.WithDecodeBatch(*batchDec),
 		core.WithGen(gen.Settings{NumBeams: *beams}),
 		core.WithReasoningOnly(*reasoning),
 	}

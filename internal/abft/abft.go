@@ -112,9 +112,33 @@ type layerSums struct {
 
 // New returns an empty Checker.
 func New(cfg Config) *Checker {
+	return NewWithCache(cfg, NewCache())
+}
+
+// Cache is a shareable clean-weight checksum store. Checkers built over
+// the same Cache (NewWithCache) compute each layer's O(k·n) sums once
+// between them — the batched decode scheduler gives every in-flight
+// trial its own Checker (own events, stats, tolerance bookkeeping) over
+// the worker's single Cache. Like Checker it is not safe for concurrent
+// use; a worker's trials all run on one goroutine.
+type Cache struct {
+	sums map[model.LayerRef]layerSums
+}
+
+// NewCache returns an empty checksum cache.
+func NewCache() *Cache {
+	return &Cache{sums: map[model.LayerRef]layerSums{}}
+}
+
+// NewWithCache returns a Checker whose clean-weight checksums live in
+// (and are shared through) cache. The per-layer tolerance is resolved by
+// whichever Checker first protects a layer, so Checkers sharing a cache
+// must agree on Config.Tol — the campaign engine derives one tolerance
+// per campaign, which every trial's Checker inherits.
+func NewWithCache(cfg Config, cache *Cache) *Checker {
 	return &Checker{
 		cfg:    cfg,
-		sums:   map[model.LayerRef]layerSums{},
+		sums:   cache.sums,
 		active: map[model.LayerRef]bool{},
 	}
 }

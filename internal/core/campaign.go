@@ -57,6 +57,17 @@ type Campaign struct {
 	// armed, and each trial's verdicts land in Trial.Detection. The
 	// baseline runs unchecked — it is the fault-free reference.
 	ABFT *ABFTConfig
+	// BatchDecode enables continuous-batching decode: each worker keeps up
+	// to BatchDecode trials in flight, running one stacked forward pass
+	// per token across all of them and admitting the next trial as soon as
+	// one retires (≤1 = serial decode). Observationally inert — every
+	// trial's computation, hooks, checker verdicts, and sampled randomness
+	// are bit-identical to the serial path — so it is deliberately
+	// excluded from the checkpoint Fingerprint (like tracing, a resumed
+	// campaign may change it freely). Campaigns the batched path cannot
+	// express (multiple-choice scoring, memory faults, beam search) fall
+	// back to serial decode automatically; see batchEligible.
+	BatchDecode int
 
 	// noPrefixReuse forces every trial through full prefill and
 	// deepClones gives every worker a deep model copy — together they
@@ -372,6 +383,21 @@ func (c Campaign) runTrial(wm *model.Model, sampler *faults.Sampler, src *prng.S
 		rec.Spans = sp.spans()
 	}
 	return trial, rec, nil
+}
+
+// batchEligible reports whether the campaign's trials can run through
+// the continuous-batching decode scheduler. The batched path decodes
+// from the baseline's post-prompt snapshot with per-row fault hooks, so
+// it requires everything prefix reuse requires — and additionally a
+// single greedy decode stream per trial: multiple-choice scoring has no
+// decode loop, memory faults mutate the weights every in-flight sibling
+// shares, and beam search forks states mid-decode.
+func (c Campaign) batchEligible(gs gen.Settings) bool {
+	return c.BatchDecode > 1 &&
+		c.Suite.Type != tasks.MultipleChoice &&
+		!c.Fault.IsMemory() &&
+		gs.NumBeams <= 1 &&
+		!c.noPrefixReuse
 }
 
 // reusePrefix reports whether a trial may resume from the baseline's

@@ -61,6 +61,16 @@ func WithABFT(cfg ABFTConfig) Option {
 	return func(c *Campaign) { c.ABFT = &cfg }
 }
 
+// WithDecodeBatch sets the continuous-batching decode width: each
+// worker keeps up to n trials in flight, stepping them through one
+// stacked forward pass per token (≤1 = serial decode). Results are
+// bit-identical to the serial path; campaigns the batched scheduler
+// cannot express (multiple-choice, memory faults, beam search) fall
+// back to serial automatically.
+func WithDecodeBatch(n int) Option {
+	return func(c *Campaign) { c.BatchDecode = n }
+}
+
 // WithReasoningOnly restricts computational-fault iterations to the
 // reasoning segment of the baseline output (the CoT study, §4.3.2).
 func WithReasoningOnly(on bool) Option {

@@ -263,12 +263,15 @@ func (r *Runner) run(ctx context.Context, emit func(Event)) (*Result, error) {
 		}
 	}
 
-	workers := c.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	batched := c.batchEligible(gs)
+	batch := 1
+	if batched {
+		batch = c.BatchDecode
 	}
-	if workers > len(pending) {
-		workers = len(pending)
+	workers := 0
+	threadsPer := 1
+	if len(pending) > 0 {
+		workers, threadsPer = poolShape(len(pending), c.Workers, batch, runtime.GOMAXPROCS(0))
 	}
 	r.tel.begin(c.Trials, workers)
 	// Fold checkpointed trials into the cumulative counters so tallies
@@ -285,14 +288,6 @@ func (r *Runner) run(ctx context.Context, emit func(Event)) (*Result, error) {
 			}
 		}
 		return res, ctx.Err()
-	}
-
-	// Split the machine between campaign workers: each worker's matmuls
-	// get an equal share of the cores, so one trial's batched prefill
-	// does not starve the rest of the pool.
-	threadsPer := runtime.GOMAXPROCS(0) / workers
-	if threadsPer < 1 {
-		threadsPer = 1
 	}
 
 	runCtx, cancel := context.WithCancel(ctx)
@@ -325,6 +320,20 @@ func (r *Runner) run(ctx context.Context, emit func(Event)) (*Result, error) {
 			if err != nil {
 				results <- trialResult{index: -1, worker: worker, err: err}
 				cancel()
+				return
+			}
+			if batched {
+				bw := &batchedWorker{
+					c: c, r: r, worker: worker, wm: wm,
+					sampler: sampler, seedSrc: seedSrc,
+					base: baseline, gs: gs, check: check,
+					traceOn: traceOn, traceTol: traceTol,
+					results: results, cancel: cancel,
+				}
+				if c.ABFT != nil {
+					bw.cache = abft.NewCache()
+				}
+				bw.run(runCtx, jobs)
 				return
 			}
 			// The worker's ABFT detector: checksums of layers it has
@@ -418,6 +427,38 @@ func (r *Runner) run(ctx context.Context, emit func(Event)) (*Result, error) {
 		return nil, err
 	}
 	return res, nil
+}
+
+// poolShape sizes the worker pool and each worker's matmul thread
+// share from the actual in-flight shape. Serially, one worker carries
+// one trial, so the pool is capped by the pending count; under batched
+// decode a worker carries up to batch trials, so the cap is
+// ceil(pending/batch) — spawning more would leave workers whose batch
+// could never fill, each still claiming a core share. The threads-per-
+// worker split then divides the machine among the workers that actually
+// exist, so a small batched pool reclaims the cores a serial pool of
+// the same campaign would have fragmented.
+func poolShape(pending, requested, batch, procs int) (workers, threads int) {
+	workers = requested
+	if workers <= 0 {
+		workers = procs
+	}
+	if batch > 1 {
+		if need := (pending + batch - 1) / batch; workers > need {
+			workers = need
+		}
+	}
+	if workers > pending {
+		workers = pending
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	threads = procs / workers
+	if threads < 1 {
+		threads = 1
+	}
+	return workers, threads
 }
 
 // checkpoint persists the completed trials.

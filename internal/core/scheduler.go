@@ -1,0 +1,353 @@
+package core
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/abft"
+	"repro/internal/faults"
+	"repro/internal/gen"
+	"repro/internal/model"
+	"repro/internal/outcome"
+	"repro/internal/prng"
+	"repro/internal/tasks"
+	"repro/internal/trace"
+)
+
+// batchedWorker is one pool worker running the continuous-batching
+// decode scheduler: it admits up to Campaign.BatchDecode trials into a
+// model.Batch, steps every in-flight trial through one stacked forward
+// pass per token, and retires each trial the moment its own greedy loop
+// finishes — immediately refilling the freed row from the jobs channel.
+//
+// Bit-identity to the serial path holds trial by trial: admission
+// mirrors runTrial's preamble exactly (same Split(t) seeding, same
+// sampled site, same prefix fork, same hook order), each decode step
+// runs the row's computation in MatVec accumulation order with the
+// trial's own hooks and checker observing only its rows (model.Batch's
+// contract), and retirement mirrors runTrial's postamble. Scheduling
+// therefore cannot influence any trial's outcome — only wall-clock.
+type batchedWorker struct {
+	c       Campaign
+	r       *Runner
+	worker  int
+	wm      *model.Model
+	sampler *faults.Sampler
+	seedSrc *prng.Source
+	base    *Baseline
+	gs      gen.Settings
+	check   AnswerChecker
+	// cache shares clean-weight checksums across the worker's per-trial
+	// ABFT checkers (nil without Campaign.ABFT).
+	cache    *abft.Cache
+	traceOn  bool
+	traceTol float64
+	results  chan<- trialResult
+	cancel   context.CancelFunc
+	// free recycles retired rows: a slot turnover reuses the retired
+	// trial's KV-cache and logits allocations for the admitted trial
+	// (ForkForInto) instead of churning the allocator once per trial.
+	free []*model.DecodeRow
+}
+
+// inFlight is one admitted trial riding a batch row until it retires.
+type inFlight struct {
+	t, idx    int
+	inst      tasks.Instance
+	base      *InstanceBaseline
+	site      faults.Site
+	promptLen int
+	strikePos int
+	inj       *faults.Injection
+	probe     *trace.Probe
+	checker   *abft.Checker
+	timed     *timedChecker
+	row       *model.DecodeRow
+	stepper   *gen.Stepper
+	sp        *spanTimes
+	instr     trialInstr
+	// busy accumulates the trial's attributed wall time: its admission
+	// and retirement run whole, plus an equal share of every batch step
+	// it rode in — so worker utilization stays comparable to serial.
+	busy time.Duration
+}
+
+// run drains the jobs channel through the batch engine. On a trial
+// error it reports, cancels the pool, and returns; on context
+// cancellation it abandons the in-flight trials (they are not reported
+// as completed, so checkpoint resume re-executes them).
+func (bw *batchedWorker) run(ctx context.Context, jobs <-chan int) {
+	bt := bw.wm.NewBatch(bw.c.BatchDecode)
+	maxSeq := bw.wm.Cfg.MaxSeq
+	active := make([]*inFlight, 0, bt.Capacity())
+	rows := make([]*model.DecodeRow, 0, bt.Capacity())
+
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		// Refill every free row. A trial that finishes on its very first
+		// token (admit returns done) never occupies a row at all.
+		for len(active) < bt.Capacity() {
+			t, ok := <-jobs
+			if !ok {
+				break
+			}
+			f, done, err := bw.admit(t)
+			if err != nil {
+				bw.results <- trialResult{index: t, worker: bw.worker, err: err}
+				bw.cancel()
+				return
+			}
+			if done != nil {
+				bw.results <- *done
+				if done.err != nil {
+					bw.cancel()
+					return
+				}
+				continue
+			}
+			active = append(active, f)
+		}
+		if len(active) == 0 {
+			return
+		}
+
+		rows = rows[:0]
+		for _, f := range active {
+			rows = append(rows, f.row)
+		}
+		stepStart := now()
+		bt.Step(rows)
+		share := since(stepStart) / time.Duration(len(active))
+		bw.r.tel.observeBatch(len(active))
+
+		keep := active[:0]
+		for _, f := range active {
+			f.sp.decode += share
+			f.busy += share
+			tok, step := f.stepper.Next(f.row.Logits, f.row.St.Pos, maxSeq)
+			if step {
+				f.row.Tok = tok
+				keep = append(keep, f)
+				continue
+			}
+			bw.results <- bw.retire(f)
+		}
+		active = keep
+	}
+}
+
+// admit prepares trial t for the batch: it mirrors runTrial's preamble —
+// site sampling from Split(t), ABFT protection before arming, the
+// fault/mitigation/probe hook chain — but arms the fault as a row hook
+// and forks the baseline prefix onto a DecodeRow instead of running a
+// serial generation. A trial whose greedy loop ends on the prefix
+// logits (zero-token budget, immediate stop) is completed inline and
+// returned as done.
+func (bw *batchedWorker) admit(t int) (*inFlight, *trialResult, error) {
+	c := bw.c
+	start := now()
+	idx := t % len(c.Suite.Instances)
+	inst := c.Suite.Instances[idx]
+	base := &bw.base.Instances[idx]
+	if inst.Reference == "" {
+		inst.Reference = base.Reference
+	}
+	if base.prefix == nil {
+		// No snapshot to fork (defensive; evalBaseline always snapshots
+		// generative suites). Run the trial serially between batch steps —
+		// Batch.Step ignores model-level hooks and checker, so a complete
+		// serial trial cannot observe or perturb the in-flight rows.
+		return nil, bw.serialFallback(t), nil
+	}
+
+	maxIters, promptLen := c.faultWindow(&inst, base)
+	site := bw.sampler.Sample(bw.seedSrc.Split(uint64(t)), c.Fault, maxIters)
+	strikePos := promptLen + site.GenIter
+
+	instr := trialInstr{traced: bw.traceOn && t%bw.r.traceEvery == 0, tol: bw.traceTol}
+	var probe *trace.Probe
+	if instr.traced && base.capture != nil {
+		probe = trace.NewProbe(base.capture, trace.ProbeConfig{
+			Tol: instr.tol, StrikePos: strikePos, Site: site.Layer,
+		})
+	}
+
+	sp := &spanTimes{}
+	var checker *abft.Checker
+	var timed *timedChecker
+	if c.ABFT != nil {
+		// Per-trial checker over the worker's shared checksum cache: each
+		// in-flight trial keeps its own events and stats while the
+		// O(k·n) clean-weight sums are computed once per layer per worker.
+		// Protect precedes ArmHook as in the serial path (moot here —
+		// row hooks never touch the weights — but kept for symmetry).
+		checker = abft.NewWithCache(abft.Config{Tol: c.ABFT.Tol, Policy: c.ABFT.Policy}, bw.cache)
+		var perr error
+		if c.ABFT.AllLayers {
+			perr = checker.ProtectAll(bw.wm)
+		} else {
+			perr = checker.Protect(bw.wm, site.Layer)
+		}
+		if perr != nil {
+			return nil, nil, &TrialError{Index: t, Site: site, Err: perr}
+		}
+		timed = &timedChecker{inner: checker}
+		sp.abftOn = true
+	}
+
+	inj, hook, err := faults.ArmHook(bw.wm, site, promptLen)
+	if err != nil {
+		return nil, nil, &TrialError{Index: t, Site: site, Err: err}
+	}
+	hooks := []model.Hook{hook}
+	if c.ExtraHook != nil {
+		// Mitigations observe values after the fault hook mutated them.
+		hooks = append(hooks, c.ExtraHook())
+	}
+	if probe != nil {
+		// The probe observes last — after the fault and any mitigation
+		// hook have mutated the row — and never modifies it.
+		hooks = append(hooks, probe.Hook())
+	}
+
+	gs := bw.gs
+	gs.MaxNewTokens = inst.MaxNew
+	gs.MinNewTokens = inst.MinNew
+	prefillStart := now()
+	var row *model.DecodeRow
+	if n := len(bw.free); n > 0 {
+		row = bw.free[n-1]
+		bw.free = bw.free[:n-1]
+		base.prefix.ForkForInto(bw.wm, row.St)
+	} else {
+		row = &model.DecodeRow{St: base.prefix.ForkFor(bw.wm), Logits: make([]float32, c.Model.Cfg.Vocab)}
+	}
+	row.Hooks = hooks
+	row.Checker = nil
+	copy(row.Logits, base.prefixLogits)
+	// The fork stands in for prefill on this path (as in resumeInstance).
+	sp.prefill += since(prefillStart)
+	if timed != nil {
+		row.Checker = timed
+	}
+	st := row.St
+
+	f := &inFlight{
+		t: t, idx: idx, inst: inst, base: base,
+		site: site, promptLen: promptLen, strikePos: strikePos,
+		inj: inj, probe: probe, checker: checker, timed: timed,
+		row: row, stepper: gen.NewStepper(gs), sp: sp, instr: instr,
+	}
+	// First stepper call consumes the prefix logits, exactly as the
+	// serial ContinueGreedy does before its first DecodeStep.
+	tok, step := f.stepper.Next(row.Logits, st.Pos, bw.wm.Cfg.MaxSeq)
+	f.busy += since(start)
+	if !step {
+		// The trial finished without a single decode step.
+		done := bw.retire(f)
+		return nil, &done, nil
+	}
+	row.Tok = tok
+	return f, nil, nil
+}
+
+// retire finishes an in-flight trial: it mirrors runTrial's postamble —
+// scoring, detection summary, outcome classification, trace record —
+// over the stepper's accumulated Result.
+func (bw *batchedWorker) retire(f *inFlight) trialResult {
+	c := bw.c
+	start := now()
+	res := f.stepper.Result()
+	f.sp.steps = res.Steps
+	// Steps is the runtime proxy for the modeled inference, which still
+	// includes the prompt the snapshot stands in for.
+	res.Steps += len(f.inst.Prompt)
+
+	var ib InstanceBaseline
+	moeTrace := bw.wm.Cfg.IsMoE() && bw.gs.NumBeams <= 1
+	if moeTrace {
+		ib.ExpertTrace = f.row.St.ExpertTrace
+	}
+	classifyStart := now()
+	finishGenerative(&ib, c.Suite, &f.inst, res, bw.check, false)
+	f.sp.classify += since(classifyStart)
+
+	fired := f.inj.Fired
+	f.inj.Disarm() // no-op for row hooks; kept for protocol symmetry
+
+	trial := Trial{
+		Site:     f.site,
+		Instance: f.idx,
+		Fired:    fired,
+		AnswerOK: ib.AnswerOK,
+		Choice:   ib.Choice,
+		Metrics:  ib.Metrics,
+		Steps:    ib.Steps,
+	}
+	if f.checker != nil {
+		f.sp.mitigate = f.checker.MitigationTime()
+		f.sp.abft = f.timed.total - f.sp.mitigate
+		classifyStart := now()
+		trial.Detection = summarizeDetection(f.checker, f.site, f.promptLen, fired)
+		f.sp.classify += since(classifyStart)
+	}
+	classifyStart = now()
+	trial.Outcome = outcome.Classify(ib.Tokens, f.base.Tokens, ib.AnswerOK, c.Thresholds)
+	if moeTrace {
+		trial.ExpertChanged = !expertTraceEqual(ib.ExpertTrace, f.base.ExpertTrace)
+	}
+	f.sp.classify += since(classifyStart)
+
+	var rec *trace.Record
+	if f.instr.traced {
+		rec = &trace.Record{
+			Schema:     trace.SchemaVersion,
+			Trial:      f.t,
+			Instance:   f.idx,
+			Fault:      f.site.Fault.String(),
+			Site:       f.site.String(),
+			Layer:      f.site.Layer.String(),
+			Block:      f.site.Layer.Block,
+			Bits:       f.site.Bits,
+			HighestBit: f.site.HighestBit(),
+			GenIter:    f.site.GenIter,
+			StrikePos:  f.strikePos,
+			Fired:      fired,
+			Outcome:    trial.Outcome.Class.String(),
+			AnswerOK:   trial.AnswerOK,
+			Steps:      trial.Steps,
+		}
+		if f.probe != nil {
+			f.probe.Fill(rec)
+		}
+		rec.Spans = f.sp.spans()
+	}
+	bw.r.tel.observeSpans(f.sp)
+	f.busy += since(start)
+	// The row's buffers are dead from here: everything retirement needed
+	// has been copied out, so the next admission may reuse them.
+	bw.free = append(bw.free, f.row)
+	return trialResult{index: f.t, worker: bw.worker, trial: trial, rec: rec, busy: f.busy}
+}
+
+// serialFallback runs trial t through the ordinary serial runTrial. Used
+// only when an instance carries no prefix snapshot; the serial checker
+// still shares the worker's checksum cache.
+func (bw *batchedWorker) serialFallback(t int) *trialResult {
+	c := bw.c
+	var checker *abft.Checker
+	if c.ABFT != nil {
+		checker = abft.NewWithCache(abft.Config{Tol: c.ABFT.Tol, Policy: c.ABFT.Policy}, bw.cache)
+	}
+	instr := trialInstr{traced: bw.traceOn && t%bw.r.traceEvery == 0, tol: bw.traceTol}
+	sp := &spanTimes{}
+	start := now()
+	trial, rec, err := c.runTrial(bw.wm, bw.sampler, bw.seedSrc.Split(uint64(t)), t, bw.base, bw.gs, bw.check, checker, instr, sp)
+	if err != nil {
+		return &trialResult{index: t, worker: bw.worker, err: err}
+	}
+	bw.r.tel.observeSpans(sp)
+	return &trialResult{index: t, worker: bw.worker, trial: trial, rec: rec, busy: since(start)}
+}

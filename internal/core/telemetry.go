@@ -67,6 +67,11 @@ type Telemetry struct {
 	hookFires atomic.Int64
 	// traced counts trials that produced a propagation-trace Record.
 	traced atomic.Int64
+	// batchSteps and batchRows count stacked decode steps and the trial
+	// rows they carried (continuous-batching campaigns only); their ratio
+	// is the mean batch occupancy. Atomic: workers observe each step.
+	batchSteps atomic.Int64
+	batchRows  atomic.Int64
 	// phases holds the per-phase latency histograms, indexed by
 	// trace.PhaseIndex; atomic because workers observe spans directly.
 	phases [6]phaseHist
@@ -117,6 +122,8 @@ func (t *Telemetry) begin(total, workers int) {
 	t.abft = abftStat{}
 	t.hookFires.Store(0)
 	t.traced.Store(0)
+	t.batchSteps.Store(0)
+	t.batchRows.Store(0)
 	for i := range t.phases {
 		t.phases[i].reset()
 	}
@@ -177,6 +184,12 @@ func (t *Telemetry) hookFired() { t.hookFires.Add(1) }
 
 // tracedTrial counts one trial that produced a propagation trace.
 func (t *Telemetry) tracedTrial() { t.traced.Add(1) }
+
+// observeBatch counts one stacked decode step carrying rows trials.
+func (t *Telemetry) observeBatch(rows int) {
+	t.batchSteps.Add(1)
+	t.batchRows.Add(int64(rows))
+}
 
 // observePhase adds one latency observation to a phase histogram.
 // Lock-free: workers call it directly as trials complete.
@@ -243,6 +256,12 @@ type TelemetrySnapshot struct {
 	Distorted      int     `json:"sdc_distorted"`
 	HookFires      int64   `json:"hook_fires"`
 	TracedTrials   int64   `json:"traced_trials,omitempty"`
+	// Continuous-batching decode occupancy (all zero without
+	// Campaign.BatchDecode): stacked decode steps, the trial rows they
+	// carried, and their ratio — the mean in-flight batch size.
+	DecodeBatchSteps int64   `json:"decode_batch_steps,omitempty"`
+	DecodeBatchRows  int64   `json:"decode_batch_rows,omitempty"`
+	BatchOccupancy   float64 `json:"batch_occupancy,omitempty"`
 	// ABFT detection-layer counters (all zero without Campaign.ABFT):
 	// checks/violations plus fired trials split into detected (flagged at
 	// the injection site) and missed, noise false positives, cascaded
@@ -291,6 +310,11 @@ func (t *Telemetry) Snapshot() TelemetrySnapshot {
 		AbftCascaded:       t.abft.cascaded,
 		AbftCorrected:      t.abft.corrected,
 		AbftSkipped:        t.abft.skipped,
+	}
+	s.DecodeBatchSteps = t.batchSteps.Load()
+	s.DecodeBatchRows = t.batchRows.Load()
+	if s.DecodeBatchSteps > 0 {
+		s.BatchOccupancy = float64(s.DecodeBatchRows) / float64(s.DecodeBatchSteps)
 	}
 	if executed := t.done - t.resumed; executed > 0 && elapsed > 0 {
 		s.TrialsPerSec = float64(executed) / elapsed.Seconds()

@@ -62,6 +62,33 @@ func Arm(m *model.Model, site Site, promptLen int) (*Injection, error) {
 	return inj, nil
 }
 
+// ArmHook builds the one-shot computational-fault hook for site without
+// installing it on any model — the batched decode scheduler dispatches
+// it on the trial's own batch row, so the fault strikes exactly that
+// row's activations and never a sibling trial's. Memory faults mutate
+// shared weight storage and cannot be scoped to a row; they return an
+// error (the scheduler routes such trials through the serial path).
+// The returned Injection has nothing to restore: Disarm is a no-op, and
+// dropping the hook retires the fault.
+func ArmHook(m *model.Model, site Site, promptLen int) (*Injection, model.Hook, error) {
+	if site.Fault.IsMemory() {
+		return nil, nil, fmt.Errorf("faults: memory fault %v cannot arm as a row hook", site)
+	}
+	inj := &Injection{Site: site, m: m}
+	target := promptLen + site.GenIter
+	dt := m.Cfg.DType
+	hook := func(ref model.LayerRef, pos int, out []float32) {
+		if inj.Fired || ref != site.Layer || pos != target {
+			return
+		}
+		if site.Col < len(out) {
+			out[site.Col] = float32(numerics.FlipBits(dt, float64(out[site.Col]), site.Bits...))
+			inj.Fired = true
+		}
+	}
+	return inj, hook, nil
+}
+
 // Disarm restores the model to its fault-free configuration.
 func (inj *Injection) Disarm() {
 	if inj.restore != nil {

@@ -109,24 +109,15 @@ func greedy(m *model.Model, prompt []int, s Settings) Result {
 // expert tracing enabled) prefill themselves and hand over here. The
 // returned Steps counts only the continuation.
 func ContinueGreedy(m *model.Model, st *model.State, logits []float32, s Settings) Result {
-	var res Result
-	for i := 0; i < s.MaxNewTokens; i++ {
-		masked := maskLogits(logits, s, i)
-		lsm := tensor.LogSoftmaxRow(masked)
-		next := tensor.Argmax(masked)
-		res.LogProb += lsm[next]
-		res.Steps++
-		if next == s.StopToken {
-			res.Stopped = true
+	sp := NewStepper(s)
+	for {
+		tok, step := sp.Next(logits, st.Pos, m.Cfg.MaxSeq)
+		if !step {
 			break
 		}
-		res.Tokens = append(res.Tokens, next)
-		if st.Pos >= m.Cfg.MaxSeq {
-			break
-		}
-		logits = st.DecodeStep(next)
+		logits = st.DecodeStep(tok)
 	}
-	return res
+	return sp.Result()
 }
 
 // hypothesis is one live beam.

@@ -11,7 +11,9 @@ import (
 // Model.LayerForWrite, which privatizes the targeted tensor first. A
 // weight obtained from Model.Layer or LinearLayers is a read-only alias —
 // flipping bits or setting elements through it would corrupt the parent
-// and every sibling worker.
+// and every sibling worker. internal/model is in scope since PR 6: the
+// batched decode path (Batch.Step, DecodeRow) runs against the same
+// shared-weight clones, so helper code there is held to the same rule.
 var AnalyzerCOWWrite = &Analyzer{
 	Name: "cowwrite",
 	Doc:  "weight mutation in worker/trial code must flow through LayerForWrite",
@@ -20,6 +22,7 @@ var AnalyzerCOWWrite = &Analyzer{
 		"internal/faults",
 		"internal/experiments",
 		"internal/mitigate",
+		"internal/model",
 	},
 	Run: runCOWWrite,
 }

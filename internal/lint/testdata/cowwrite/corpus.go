@@ -61,6 +61,26 @@ func flipSuppressed(m *Model, ref LayerRef) {
 	w.FlipBits(0, 0, nil) //llmfi:allow cowwrite corpus case: an honored suppression
 }
 
+// Batch mirrors the continuous-batching decode state: it runs against a
+// CloneShared worker model, so batched helpers are held to the same
+// copy-on-write rule (internal/model joined the default scope in PR 6).
+type Batch struct{ m *Model }
+
+// flipInBatchStep mutates through a Layer alias from inside the batched
+// decode path: flagged.
+func (b *Batch) flipInBatchStep(ref LayerRef) {
+	w, _ := b.m.Layer(ref)
+	w.FlipBits(0, 0, []int{14}) // want `FlipBits through a weight obtained from Model.Layer`
+}
+
+// flipInBatchStepWritable privatizes first: the sanctioned path, even
+// mid-batch.
+func (b *Batch) flipInBatchStepWritable(ref LayerRef) {
+	w, _ := b.m.LayerForWrite(ref)
+	restore := w.FlipBits(0, 0, []int{14})
+	restore()
+}
+
 // reclassified shows an alias becoming writable when reassigned from
 // LayerForWrite (function-local provenance, source order).
 func reclassified(m *Model, ref LayerRef) {

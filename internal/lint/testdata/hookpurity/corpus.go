@@ -82,6 +82,50 @@ func suppressedHook(m *Model) func(LayerRef, int, []float32) {
 	}
 }
 
+// DecodeRow and Batch mirror the continuous-batching decode state
+// (model.Batch / model.DecodeRow): a hook fires on behalf of exactly one
+// row, so stores through a captured Batch or a sibling row are flagged.
+type DecodeRow struct {
+	Logits []float32
+	Done   bool
+}
+
+type Batch struct {
+	rows []*DecodeRow
+	x    *Tensor
+}
+
+// rowLocalHook writes only its own output row even while a batch is in
+// scope: clean.
+func rowLocalHook(b *Batch) func(LayerRef, int, []float32) {
+	return func(ref LayerRef, step int, out []float32) {
+		_ = len(b.rows)
+		out[0] = 1
+	}
+}
+
+// badSiblingRowHook reaches into a co-scheduled row's logits: flagged.
+func badSiblingRowHook(b *Batch) func(LayerRef, int, []float32) {
+	return func(ref LayerRef, step int, out []float32) {
+		b.rows[0].Logits[0] = 0 // want `stores to model-reachable memory`
+	}
+}
+
+// badRetireHook retires a sibling row from inside a hook: flagged.
+func badRetireHook(row *DecodeRow) func(LayerRef, int, []float32) {
+	return func(ref LayerRef, step int, out []float32) {
+		row.Done = true // want `stores to model-reachable memory`
+	}
+}
+
+// badBatchTensorHook mutates the batch's stacked activation tensor:
+// flagged via the Set rule.
+func badBatchTensorHook(b *Batch) func(LayerRef, int, []float32) {
+	return func(ref LayerRef, step int, out []float32) {
+		b.x.Set(0, 0, 1) // want `hook calls Set on a weight tensor`
+	}
+}
+
 // checker mirrors a LinearChecker implementation.
 type checker struct{ events int }
 

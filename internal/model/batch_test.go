@@ -1,0 +1,292 @@
+package model
+
+import (
+	"fmt"
+	"testing"
+)
+
+// serialDecode runs toks through DecodeStep one at a time on st,
+// recording the logits after every step.
+func serialDecode(st *State, toks []int) [][]float32 {
+	var out [][]float32
+	for _, tok := range toks {
+		out = append(out, append([]float32(nil), st.DecodeStep(tok)...))
+	}
+	return out
+}
+
+// recordingChecker counts and records CheckLinear calls — a stand-in for
+// the ABFT checker that lets the tests assert per-row dispatch.
+type recordingChecker struct {
+	calls []hookKey
+}
+
+func (c *recordingChecker) CheckLinear(ref LayerRef, pos int, w Weight, in, out []float32) {
+	c.calls = append(c.calls, hookKey{ref, pos})
+}
+
+// TestBatchStepGolden pins Batch.Step bit-for-bit to per-row DecodeStep:
+// rows prefilled to different positions, decoding different token
+// streams, over dense and MoE profiles. Logits after every step and the
+// final KV caches must be identical to each row stepping alone.
+func TestBatchStepGolden(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		spec Spec
+	}{
+		{"dense", testSpec(QwenS)},
+		{"moe", moeTestSpec(LlamaS)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m := MustBuild(tc.spec)
+			vocab := tc.spec.Config.Vocab
+			trace := tc.spec.Config.IsMoE()
+
+			// Three rows at ragged positions with distinct token streams.
+			prompts := [][]int{promptOf(3, vocab), promptOf(7, vocab), promptOf(5, vocab)}
+			streams := [][]int{
+				{1, 9, 17, 2, 30},
+				{4, 4, 11, 0, 23},
+				{29, 6, 13, 19, 7},
+			}
+
+			prep := func() []*State {
+				sts := make([]*State, len(prompts))
+				for i, p := range prompts {
+					sts[i] = m.NewState()
+					if trace {
+						sts[i].EnableExpertTrace()
+					}
+					sts[i].Prefill(p)
+				}
+				return sts
+			}
+
+			want := make([][][]float32, len(prompts))
+			serialSts := prep()
+			for i, st := range serialSts {
+				want[i] = serialDecode(st, streams[i])
+			}
+
+			batchSts := prep()
+			b := m.NewBatch(len(prompts) + 2) // spare capacity: partial batches
+			rows := make([]*DecodeRow, len(batchSts))
+			for i, st := range batchSts {
+				rows[i] = &DecodeRow{St: st, Logits: make([]float32, vocab)}
+			}
+			for step := 0; step < len(streams[0]); step++ {
+				for i, row := range rows {
+					row.Tok = streams[i][step]
+				}
+				b.Step(rows)
+				for i, row := range rows {
+					for j, v := range row.Logits {
+						if v != want[i][step][j] {
+							t.Fatalf("row %d step %d logit %d: batch %g serial %g",
+								i, step, j, v, want[i][step][j])
+						}
+					}
+				}
+			}
+			for i := range serialSts {
+				if err := statesEqual(serialSts[i], batchSts[i]); err != nil {
+					t.Fatalf("row %d state: %v", i, err)
+				}
+			}
+		})
+	}
+}
+
+// TestBatchStepPerRowHooks checks fault isolation: a mutating hook on one
+// row must corrupt exactly that row's output (identically to the same
+// hook on a serial run) and leave sibling rows bit-identical to clean
+// serial runs. Each row's capture hook must also see only its own
+// positions.
+func TestBatchStepPerRowHooks(t *testing.T) {
+	spec := testSpec(QwenS)
+	m := MustBuild(spec)
+	vocab := spec.Config.Vocab
+	prompts := [][]int{promptOf(4, vocab), promptOf(6, vocab)}
+	toks := []int{3, 21, 8}
+	target := LayerRef{0, KindUp, -1}
+	faultPos := len(prompts[0]) + 1 // second decoded position of row 0
+	fault := func(ref LayerRef, pos int, out []float32) {
+		if ref == target && pos == faultPos {
+			out[3] += 40
+		}
+	}
+
+	// Serial twins: row 0 with the hook installed on the model, row 1 clean.
+	st0 := m.NewState()
+	st0.Prefill(prompts[0])
+	m.AddHook(fault)
+	wantFaulty := serialDecode(st0, toks)
+	m.ClearHooks()
+	st1 := m.NewState()
+	st1.Prefill(prompts[1])
+	wantClean := serialDecode(st1, toks)
+
+	// Batched: hook rides on row 0 only; row 1 carries a capture hook.
+	caps := map[hookKey][]float32{}
+	b0 := m.NewState()
+	b0.Prefill(prompts[0])
+	b1 := m.NewState()
+	b1.Prefill(prompts[1])
+	rows := []*DecodeRow{
+		{St: b0, Hooks: []Hook{fault}, Logits: make([]float32, vocab)},
+		{St: b1, Hooks: []Hook{captureHook(caps)}, Logits: make([]float32, vocab)},
+	}
+	bt := m.NewBatch(2)
+	for step, tok := range toks {
+		rows[0].Tok, rows[1].Tok = tok, tok
+		bt.Step(rows)
+		for j := range rows[0].Logits {
+			if rows[0].Logits[j] != wantFaulty[step][j] {
+				t.Fatalf("faulted row step %d logit %d diverges from serial faulted run", step, j)
+			}
+			if rows[1].Logits[j] != wantClean[step][j] {
+				t.Fatalf("clean sibling step %d logit %d contaminated", step, j)
+			}
+		}
+	}
+	// Row 1's hook saw only row-1 positions.
+	for k := range caps {
+		if k.pos < len(prompts[1]) || k.pos >= len(prompts[1])+len(toks) {
+			t.Fatalf("row 1 hook observed foreign position %d", k.pos)
+		}
+	}
+	if len(caps) == 0 {
+		t.Fatal("row hook never fired")
+	}
+}
+
+// TestBatchStepPerRowChecker checks checker dispatch: only the row
+// carrying a checker is checked, at exactly the (layer, position) sites
+// its serial run would visit.
+func TestBatchStepPerRowChecker(t *testing.T) {
+	spec := testSpec(FalconS)
+	m := MustBuild(spec)
+	vocab := spec.Config.Vocab
+	prompt := promptOf(5, vocab)
+	toks := []int{2, 12}
+
+	// Serial reference: checker armed on the model.
+	ref := &recordingChecker{}
+	st := m.NewState()
+	st.Prefill(prompt)
+	m.SetChecker(ref)
+	serialDecode(st, toks)
+	m.SetChecker(nil)
+
+	got := &recordingChecker{}
+	b0 := m.NewState()
+	b0.Prefill(prompt)
+	b1 := m.NewState()
+	b1.Prefill(prompt)
+	rows := []*DecodeRow{
+		{St: b0, Checker: got, Logits: make([]float32, vocab)},
+		{St: b1, Logits: make([]float32, vocab)},
+	}
+	bt := m.NewBatch(2)
+	for _, tok := range toks {
+		rows[0].Tok, rows[1].Tok = tok, tok
+		bt.Step(rows)
+	}
+	if len(got.calls) != len(ref.calls) {
+		t.Fatalf("checked row saw %d checks, serial saw %d", len(got.calls), len(ref.calls))
+	}
+	for i := range got.calls {
+		if got.calls[i] != ref.calls[i] {
+			t.Fatalf("check %d: batch %+v serial %+v", i, got.calls[i], ref.calls[i])
+		}
+	}
+}
+
+// TestBatchStepIgnoresModelHooks: hooks registered on the model itself
+// must not fire during Batch.Step — per-row contexts are the only
+// observation channel, so a scheduler cannot accidentally leak one
+// trial's instrumentation into every row.
+func TestBatchStepIgnoresModelHooks(t *testing.T) {
+	spec := testSpec(QwenS)
+	m := MustBuild(spec)
+	vocab := spec.Config.Vocab
+	st := m.NewState()
+	st.Prefill(promptOf(4, vocab))
+	want := serialDecode(st, []int{5})
+
+	b0 := m.NewState()
+	b0.Prefill(promptOf(4, vocab))
+	fired := false
+	m.AddHook(func(ref LayerRef, pos int, out []float32) { fired = true })
+	defer m.ClearHooks()
+	rows := []*DecodeRow{{St: b0, Tok: 5, Logits: make([]float32, vocab)}}
+	m.NewBatch(1).Step(rows)
+	if fired {
+		t.Fatal("model-level hook fired during Batch.Step")
+	}
+	for j := range want[0] {
+		if rows[0].Logits[j] != want[0][j] {
+			t.Fatal("batch output diverges from serial")
+		}
+	}
+}
+
+// TestBatchStepGuards covers the contract panics: over-capacity batches,
+// context overflow, wrong logits buffer, and a state bound to a foreign
+// model.
+func TestBatchStepGuards(t *testing.T) {
+	spec := testSpec(QwenS)
+	m := MustBuild(spec)
+	vocab := spec.Config.Vocab
+	mkRow := func() *DecodeRow {
+		st := m.NewState()
+		st.Prefill(promptOf(2, vocab))
+		return &DecodeRow{St: st, Tok: 1, Logits: make([]float32, vocab)}
+	}
+	expectPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+
+	expectPanic("capacity", func() {
+		m.NewBatch(1).Step([]*DecodeRow{mkRow(), mkRow()})
+	})
+	expectPanic("overflow", func() {
+		r := mkRow()
+		r.St.Pos = spec.Config.MaxSeq
+		m.NewBatch(1).Step([]*DecodeRow{r})
+	})
+	expectPanic("logits-len", func() {
+		r := mkRow()
+		r.Logits = r.Logits[:vocab-1]
+		m.NewBatch(1).Step([]*DecodeRow{r})
+	})
+	expectPanic("foreign-state", func() {
+		other := MustBuild(testSpec(QwenS))
+		r := mkRow()
+		r.St = other.NewState()
+		r.St.Prefill([]int{1})
+		m.NewBatch(1).Step([]*DecodeRow{r})
+	})
+	expectPanic("zero-capacity", func() { m.NewBatch(0) })
+
+	// Empty batch is a no-op, not a panic.
+	m.NewBatch(1).Step(nil)
+
+	// Out-of-range tokens clamp to 0, as DecodeStep does.
+	st := m.NewState()
+	st.Prefill(promptOf(2, vocab))
+	want := append([]float32(nil), st.DecodeStep(vocab+5)...)
+	r := mkRow()
+	r.Tok = vocab + 5
+	m.NewBatch(1).Step([]*DecodeRow{r})
+	for j := range want {
+		if r.Logits[j] != want[j] {
+			t.Fatal(fmt.Sprintf("clamped token logit %d diverges", j))
+		}
+	}
+}

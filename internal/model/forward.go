@@ -21,6 +21,8 @@ type State struct {
 	// Scratch buffers reused across steps.
 	x, h, q, k, v, attnOut, ff1, ff2, ffa, logits []float32
 	routerLogits                                  []float32
+	attnScores                                    []float32
+	attnQ                                         []float64
 
 	// ExpertTrace, when non-nil, records the experts selected at each step
 	// for each MoE block — Figure 15's "expert selection changed" analysis.
@@ -47,6 +49,8 @@ func (m *Model) NewState() *State {
 	st.ff2 = make([]float32, ff)
 	st.ffa = make([]float32, ff)
 	st.logits = make([]float32, m.Cfg.Vocab)
+	st.attnScores = make([]float32, m.Cfg.MaxSeq)
+	st.attnQ = make([]float64, m.Cfg.HeadDim())
 	if m.Cfg.IsMoE() {
 		st.routerLogits = make([]float32, m.Cfg.NumExperts)
 	}
@@ -74,7 +78,32 @@ func (st *State) ForkFor(m2 *Model) *State {
 	if m2.Cfg.DModel != st.m.Cfg.DModel || m2.Cfg.NBlocks != st.m.Cfg.NBlocks || m2.Cfg.MaxSeq != st.m.Cfg.MaxSeq {
 		panic("model: ForkFor across different architectures")
 	}
-	ns := m2.NewState()
+	return st.forkInto(m2.NewState())
+}
+
+// ForkForInto is ForkFor recycling a retired state's buffers instead of
+// allocating fresh ones: dst must have come from NewState/ForkFor on a
+// model of the same architecture, and everything it held is overwritten.
+// A continuous-batching scheduler retires and admits one trial state per
+// slot turnover; reusing the KV allocations keeps that churn off the
+// allocator. A nil dst falls back to a fresh fork.
+func (st *State) ForkForInto(m2 *Model, dst *State) *State {
+	if dst == nil {
+		return st.ForkFor(m2)
+	}
+	if m2.Cfg.DModel != st.m.Cfg.DModel || m2.Cfg.NBlocks != st.m.Cfg.NBlocks || m2.Cfg.MaxSeq != st.m.Cfg.MaxSeq {
+		panic("model: ForkForInto across different architectures")
+	}
+	dst.m = m2
+	dst.ExpertTrace = nil
+	return st.forkInto(dst)
+}
+
+// forkInto copies the prefix snapshot into ns. Rows of ns's KV cache at
+// or beyond st.Pos are left stale; attention only ever reads positions
+// below the state's cursor, and decode writes each row before the step
+// that reads it, so stale tails are unobservable.
+func (st *State) forkInto(ns *State) *State {
 	ns.Pos = st.Pos
 	for i := range st.K {
 		n := st.Pos * st.m.Cfg.DModel
@@ -145,7 +174,7 @@ func (st *State) DecodeStep(tok int) []float32 {
 		if blk.Router != nil {
 			m.moeForward(st, blk, bi, pos)
 		} else {
-			m.mlpForward(st, blk.MLP, LayerRef{bi, 0, -1}, pos, st.h, st.h)
+			m.mlpForward(m.rc(), st, blk.MLP, LayerRef{bi, 0, -1}, pos, st.h, st.h)
 		}
 		for i := 0; i < d; i++ {
 			st.x[i] += st.h[i]
@@ -162,20 +191,21 @@ func (st *State) DecodeStep(tok int) []float32 {
 
 // mlpForward computes dst = down(silu(gate(h)) * up(h)). base carries the
 // block and expert indices; its Kind field is overwritten per projection.
-// dst and h may alias.
-func (m *Model) mlpForward(st *State, mlp *MLPWeights, base LayerRef, pos int, dst, h []float32) {
+// dst and h may alias. rc selects whose hooks and checker observe the
+// three projections (the row's own trial in a decode batch).
+func (m *Model) mlpForward(rc rowCtx, st *State, mlp *MLPWeights, base LayerRef, pos int, dst, h []float32) {
 	base.Kind = KindGate
 	mlp.WGate.Forward(st.ff1, h)
-	m.finishLinear(base, pos, mlp.WGate, h, st.ff1)
+	m.finishLinearRC(rc, base, pos, mlp.WGate, h, st.ff1)
 	base.Kind = KindUp
 	mlp.WUp.Forward(st.ff2, h)
-	m.finishLinear(base, pos, mlp.WUp, h, st.ff2)
+	m.finishLinearRC(rc, base, pos, mlp.WUp, h, st.ff2)
 	for i, g := range st.ff1 {
 		st.ffa[i] = float32(float64(g)/(1+math.Exp(-float64(g)))) * st.ff2[i]
 	}
 	base.Kind = KindDown
 	mlp.WDown.Forward(dst, st.ffa)
-	m.finishLinear(base, pos, mlp.WDown, st.ffa, dst)
+	m.finishLinearRC(rc, base, pos, mlp.WDown, st.ffa, dst)
 }
 
 // moeForward routes h through the top-K experts selected by the router
@@ -183,14 +213,15 @@ func (m *Model) mlpForward(st *State, mlp *MLPWeights, base LayerRef, pos int, d
 func (m *Model) moeForward(st *State, blk *Block, bi, pos int) {
 	blk.Router.Forward(st.routerLogits, st.h)
 	m.finishLinear(LayerRef{bi, KindRouter, -1}, pos, blk.Router, st.h, st.routerLogits)
-	m.moeMix(st, blk, bi, pos, st.routerLogits, st.h, st.h)
+	m.moeMix(m.rc(), st, blk, bi, pos, st.routerLogits, st.h, st.h)
 }
 
 // moeMix routes the post-norm row h through the top-K experts selected by
 // the already-finished router logits and writes the probability-weighted
 // mixture to dst. dst may alias h. Batched prefill runs the router linear
-// for all positions at once and then mixes per position through here.
-func (m *Model) moeMix(st *State, blk *Block, bi, pos int, routerLogits, h, dst []float32) {
+// for all positions at once and then mixes per position through here; the
+// decode batch engine does the same, handing each row's own rc.
+func (m *Model) moeMix(rc rowCtx, st *State, blk *Block, bi, pos int, routerLogits, h, dst []float32) {
 	cfg := &m.Cfg
 	sel := tensor.TopK(routerLogits, cfg.TopK)
 	if st.ExpertTrace != nil {
@@ -224,7 +255,7 @@ func (m *Model) moeMix(st *State, blk *Block, bi, pos int, routerLogits, h, dst 
 	mix := make([]float32, cfg.DModel)
 	out := make([]float32, cfg.DModel)
 	for i, e := range sel {
-		m.mlpForward(st, blk.Experts[e], LayerRef{bi, 0, e}, pos, out, h)
+		m.mlpForward(rc, st, blk.Experts[e], LayerRef{bi, 0, e}, pos, out, h)
 		w := probs[i]
 		for j, v := range out {
 			mix[j] += w * v
@@ -243,55 +274,181 @@ func (m *Model) attendAt(st *State, bi, pos int, qrow, out []float32) {
 	K, V := st.K[bi], st.V[bi]
 	n := pos + 1
 
-	scores := make([]float32, n)
+	scores := st.attnScores[:n]
+	qf := st.attnQ[:hd]
 	for h := 0; h < cfg.NHeads; h++ {
 		off := h * hd
-		q := qrow[off : off+hd]
-		for t := 0; t < n; t++ {
+		for i, qv := range qrow[off : off+hd] {
+			qf[i] = float64(qv)
+		}
+		// Four key positions per pass: each dot keeps its own float64
+		// accumulator summed in i-ascending order — the exact sequence of
+		// the one-position loop below — so every score is bit-identical
+		// while the four independent chains hide the FP-add latency that
+		// bounds a lone dot product.
+		t := 0
+		for ; t+4 <= n; t += 4 {
+			k0 := K.Row(t)[off : off+hd]
+			// Reslicing everything to len(k0) (all are hd long) lets the
+			// compiler prove the range index in bounds for every operand,
+			// dropping four per-element bounds checks from the hot loop.
+			k1 := K.Row(t + 1)[off : off+hd][:len(k0)]
+			k2 := K.Row(t + 2)[off : off+hd][:len(k0)]
+			k3 := K.Row(t + 3)[off : off+hd][:len(k0)]
+			qh := qf[:len(k0)]
+			var d0, d1, d2, d3 float64
+			for i, kv := range k0 {
+				qv := qh[i]
+				d0 += qv * float64(kv)
+				d1 += qv * float64(k1[i])
+				d2 += qv * float64(k2[i])
+				d3 += qv * float64(k3[i])
+			}
+			scores[t] = float32(d0 * scale)
+			scores[t+1] = float32(d1 * scale)
+			scores[t+2] = float32(d2 * scale)
+			scores[t+3] = float32(d3 * scale)
+		}
+		for ; t < n; t++ {
 			krow := K.Row(t)[off : off+hd]
 			var dot float64
-			for i, qv := range q {
-				dot += float64(qv) * float64(krow[i])
+			for i, kv := range krow {
+				dot += qf[i] * float64(kv)
 			}
 			scores[t] = float32(dot * scale)
 		}
 		tensor.SoftmaxRow(scores[:n])
+		// Attention-weighted value mix, eight output channels per pass
+		// held in register accumulators — the matVecTiled layout. Each
+		// output element still sums w·v in t-ascending order with
+		// zero-weight positions skipped, exactly as the one-channel loop
+		// below, so the mix is bit-identical while the per-t load/store
+		// of the output row disappears.
 		o := out[off : off+hd]
-		for i := range o {
-			o[i] = 0
+		i := 0
+		for ; i+8 <= hd; i += 8 {
+			lo := off + i
+			var s0, s1, s2, s3, s4, s5, s6, s7 float32
+			// Four value positions per pass (their loads overlap as four
+			// independent streams); each accumulator still receives its
+			// w·v terms strictly in t-ascending order with zero weights
+			// skipped, so the unroll is bit-identical to the tail loop.
+			t := 0
+			for ; t+4 <= n; t += 4 {
+				if w := scores[t]; w != 0 {
+					vr := V.Row(t)[lo : lo+8 : lo+8]
+					s0 += w * vr[0]
+					s1 += w * vr[1]
+					s2 += w * vr[2]
+					s3 += w * vr[3]
+					s4 += w * vr[4]
+					s5 += w * vr[5]
+					s6 += w * vr[6]
+					s7 += w * vr[7]
+				}
+				if w := scores[t+1]; w != 0 {
+					vr := V.Row(t + 1)[lo : lo+8 : lo+8]
+					s0 += w * vr[0]
+					s1 += w * vr[1]
+					s2 += w * vr[2]
+					s3 += w * vr[3]
+					s4 += w * vr[4]
+					s5 += w * vr[5]
+					s6 += w * vr[6]
+					s7 += w * vr[7]
+				}
+				if w := scores[t+2]; w != 0 {
+					vr := V.Row(t + 2)[lo : lo+8 : lo+8]
+					s0 += w * vr[0]
+					s1 += w * vr[1]
+					s2 += w * vr[2]
+					s3 += w * vr[3]
+					s4 += w * vr[4]
+					s5 += w * vr[5]
+					s6 += w * vr[6]
+					s7 += w * vr[7]
+				}
+				if w := scores[t+3]; w != 0 {
+					vr := V.Row(t + 3)[lo : lo+8 : lo+8]
+					s0 += w * vr[0]
+					s1 += w * vr[1]
+					s2 += w * vr[2]
+					s3 += w * vr[3]
+					s4 += w * vr[4]
+					s5 += w * vr[5]
+					s6 += w * vr[6]
+					s7 += w * vr[7]
+				}
+			}
+			for ; t < n; t++ {
+				w := scores[t]
+				if w == 0 {
+					continue
+				}
+				vr := V.Row(t)[lo : lo+8 : lo+8]
+				s0 += w * vr[0]
+				s1 += w * vr[1]
+				s2 += w * vr[2]
+				s3 += w * vr[3]
+				s4 += w * vr[4]
+				s5 += w * vr[5]
+				s6 += w * vr[6]
+				s7 += w * vr[7]
+			}
+			o[i], o[i+1], o[i+2], o[i+3] = s0, s1, s2, s3
+			o[i+4], o[i+5], o[i+6], o[i+7] = s4, s5, s6, s7
 		}
-		for t := 0; t < n; t++ {
-			w := scores[t]
-			if w == 0 {
-				continue
+		for ; i < hd; i++ {
+			var s float32
+			for t := 0; t < n; t++ {
+				w := scores[t]
+				if w == 0 {
+					continue
+				}
+				s += w * V.Row(t)[off+i]
 			}
-			vrow := V.Row(t)[off : off+hd]
-			for i, vv := range vrow {
-				o[i] += w * vv
-			}
+			o[i] = s
 		}
 	}
 }
 
+// rowCtx is the observation context of one activation row: which hooks
+// fire on each linear-layer output and which checker verifies it. The
+// serial path uses the model's registered hooks and checker for every
+// row; the batched decode engine builds one rowCtx per in-flight trial
+// so each batch row keeps its own injection site and detection verdict
+// while sharing the stacked GEMMs.
+type rowCtx struct {
+	hooks   []Hook
+	checker LinearChecker
+}
+
+// rc returns the model's own observation context (registered hooks plus
+// the armed checker) — what every serial forward pass runs under.
+func (m *Model) rc() rowCtx { return rowCtx{hooks: m.hooks, checker: m.checker} }
+
 // finishLinear applies the model's forward hooks to a linear layer's
 // output, runs the linear checker if one is armed, and requantizes the
-// output to the model datatype. Hooks run before rounding so an injected
-// bit pattern is exactly the DType value; the checker runs after the
-// hooks (it must see the fault) and before rounding (so its noise floor
-// is the float32 kernel, not the storage datatype). w and in are the
-// layer's weight and input row, which the checker needs to form the
-// expected checksum and recompute a flagged output.
+// output to the model datatype.
 func (m *Model) finishLinear(ref LayerRef, pos int, w Weight, in, out []float32) {
-	m.runHooks(ref, pos, out)
-	if m.checker != nil {
-		m.checker.CheckLinear(ref, pos, w, in, out)
+	m.finishLinearRC(m.rc(), ref, pos, w, in, out)
+}
+
+// finishLinearRC is finishLinear under an explicit row context. Hooks
+// run before rounding so an injected bit pattern is exactly the DType
+// value; the checker runs after the hooks (it must see the fault) and
+// before rounding (so its noise floor is the float32 kernel, not the
+// storage datatype). w and in are the layer's weight and input row,
+// which the checker needs to form the expected checksum and recompute a
+// flagged output.
+func (m *Model) finishLinearRC(rc rowCtx, ref LayerRef, pos int, w Weight, in, out []float32) {
+	for _, h := range rc.hooks {
+		h(ref, pos, out)
 	}
-	if m.Cfg.DType != numerics.FP32 {
-		dt := m.Cfg.DType
-		for i, v := range out {
-			out[i] = float32(numerics.Round(dt, float64(v)))
-		}
+	if rc.checker != nil {
+		rc.checker.CheckLinear(ref, pos, w, in, out)
 	}
+	numerics.RoundSlice(m.Cfg.DType, out)
 }
 
 // applyRoPE rotates adjacent element pairs of each head of vec by the

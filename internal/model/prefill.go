@@ -144,7 +144,7 @@ func (st *State) Prefill(prompt []int) []float32 {
 			forwardRows(blk.Router, R, H, threads)
 			finishRows(LayerRef{bi, KindRouter, -1}, blk.Router, H, R)
 			for i := 0; i < n; i++ {
-				m.moeMix(st, blk, bi, base+i, R.Row(i), H.Row(i), D.Row(i))
+				m.moeMix(m.rc(), st, blk, bi, base+i, R.Row(i), H.Row(i), D.Row(i))
 			}
 		} else {
 			forwardRows(blk.MLP.WGate, FF1, H, threads)

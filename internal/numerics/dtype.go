@@ -135,6 +135,37 @@ func Round(d DType, v float64) float64 {
 	return Decode(d, Encode(d, v))
 }
 
+// RoundSlice requantizes every element of vals to format d in place,
+// bit-identical to applying Round elementwise. This is the decode hot
+// path's bulk form: every linear-layer output row is rounded after its
+// hooks and checker ran, and the per-element Round call chain (Encode,
+// Decode, two float64 conversions) costs more than the arithmetic it
+// wraps. The BF16 fast path inlines the EncodeBF16/DecodeBF16 round trip
+// as pure bit manipulation.
+func RoundSlice(d DType, vals []float32) {
+	switch d {
+	case FP32:
+		// float32 storage: values are already exactly representable.
+	case BF16:
+		for i, v := range vals {
+			b := math.Float32bits(v)
+			if b&0x7F800000 == 0x7F800000 && b&0x007FFFFF != 0 {
+				// NaN: preserve payload top bits, force quiet (EncodeBF16).
+				vals[i] = math.Float32frombits((b>>16 | 0x0040) << 16)
+				continue
+			}
+			round := uint32(0x7FFF + (b>>16)&1)
+			vals[i] = math.Float32frombits((b + round) >> 16 << 16)
+		}
+	case FP16:
+		for i, v := range vals {
+			vals[i] = DecodeFP16(EncodeFP16(v))
+		}
+	default:
+		panic("numerics: unknown dtype")
+	}
+}
+
 // FlipBit returns the value of v (held in format d) after flipping bit
 // position pos, where pos 0 is the least-significant mantissa bit and
 // pos == d.Bits()-1 is the sign bit. The paper indexes bits the same way:

@@ -42,6 +42,10 @@ func WriteMetricsText(w io.Writer, s core.TelemetrySnapshot) error {
 	counter("llmfi_hook_fires_total", "Forward-hook invocations of the mitigation (ExtraHook) slot.", float64(s.HookFires))
 	counter("llmfi_traced_trials_total", "Trials that produced a propagation-trace record.", float64(s.TracedTrials))
 
+	counter("llmfi_decode_batch_steps_total", "Stacked decode steps of the continuous-batching scheduler.", float64(s.DecodeBatchSteps))
+	counter("llmfi_decode_batch_rows_total", "Trial rows carried by stacked decode steps.", float64(s.DecodeBatchRows))
+	gauge("llmfi_decode_batch_occupancy", "Mean in-flight trials per stacked decode step.", s.BatchOccupancy)
+
 	counter("llmfi_abft_checks_total", "ABFT checksum evaluations.", float64(s.AbftChecks))
 	counter("llmfi_abft_flagged_total", "ABFT checksum violations.", float64(s.AbftFlagged))
 	counter("llmfi_abft_detected_total", "Fired trials flagged at the injection site.", float64(s.AbftDetected))

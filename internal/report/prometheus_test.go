@@ -16,22 +16,25 @@ import (
 // promSnapshot is the fixed snapshot behind the golden exposition test.
 func promSnapshot() core.TelemetrySnapshot {
 	return core.TelemetrySnapshot{
-		ElapsedSeconds: 2.5,
-		TotalTrials:    120,
-		DoneTrials:     64,
-		ResumedTrials:  16,
-		TrialsPerSec:   19.2,
-		Fired:          40,
-		FiredRate:      0.625,
-		Masked:         30,
-		Subtle:         24,
-		Distorted:      10,
-		HookFires:      4096,
-		TracedTrials:   4,
-		AbftChecks:     500,
-		AbftFlagged:    12,
-		AbftDetected:   10,
-		AbftMissed:     2,
+		ElapsedSeconds:   2.5,
+		TotalTrials:      120,
+		DoneTrials:       64,
+		ResumedTrials:    16,
+		TrialsPerSec:     19.2,
+		Fired:            40,
+		FiredRate:        0.625,
+		Masked:           30,
+		Subtle:           24,
+		Distorted:        10,
+		HookFires:        4096,
+		TracedTrials:     4,
+		DecodeBatchSteps: 32,
+		DecodeBatchRows:  224,
+		BatchOccupancy:   7,
+		AbftChecks:       500,
+		AbftFlagged:      12,
+		AbftDetected:     10,
+		AbftMissed:       2,
 		Workers: []core.WorkerSnapshot{
 			{Trials: 40, BusySeconds: 1.5, Utilization: 0.6},
 			{Trials: 24, BusySeconds: 1, Utilization: 0.4},
@@ -69,6 +72,9 @@ func TestWriteMetricsTextGolden(t *testing.T) {
 		"# TYPE llmfi_hook_fires_total counter",
 		"llmfi_hook_fires_total 4096",
 		"llmfi_traced_trials_total 4",
+		"llmfi_decode_batch_steps_total 32",
+		"llmfi_decode_batch_rows_total 224",
+		"llmfi_decode_batch_occupancy 7",
 		"llmfi_abft_checks_total 500",
 		"llmfi_abft_flagged_total 12",
 		"llmfi_abft_detected_total 10",

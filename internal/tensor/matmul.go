@@ -34,11 +34,53 @@ func MatMulP(out, a, b *Tensor, workers int) {
 	}
 	if workers > 1 && a.Rows >= minRowsPerWorker*2 {
 		parallelRows(a.Rows, workers, func(r0, r1 int) {
-			matmulRows(out, a, b, r0, r1)
+			matmulRowsBlocked(out, a, b, r0, r1)
 		})
 		return
 	}
-	matmulRows(out, a, b, 0, a.Rows)
+	matmulRowsBlocked(out, a, b, 0, a.Rows)
+}
+
+// MatMulRows computes the first rows rows of out = a · b, leaving the
+// remaining rows of out untouched. This is the batched-decode GEMM entry
+// point: a continuous-batching scheduler keeps activation tensors sized
+// for its batch capacity and stacks however many trials are currently in
+// flight into the leading rows. Each output row's accumulation sequence
+// is bit-identical to MatVec on that row (p ascending with zero inputs
+// skipped, then the contiguous saxpy in x ascending order), so one
+// rows×k matmul per layer per step replaces rows GEMVs without changing
+// a single bit of any trial's result — for every worker count.
+func MatMulRows(out, a, b *Tensor, rows, workers int) {
+	if a.Cols != b.Rows || out.Rows != a.Rows || out.Cols != b.Cols {
+		panic("tensor: MatMulRows shape mismatch")
+	}
+	if rows < 0 || rows > a.Rows {
+		panic("tensor: MatMulRows row count out of range")
+	}
+	if workers > 1 && rows >= minRowsPerWorker*2 {
+		parallelRows(rows, workers, func(r0, r1 int) {
+			matmulRowsBlocked(out, a, b, r0, r1)
+		})
+		return
+	}
+	matmulRowsBlocked(out, a, b, 0, rows)
+}
+
+// matmulRowsBlocked computes rows [r0, r1) of out = a·b through the
+// register-tiled row kernel behind MatVec. Per-row dispatch is a
+// deliberate choice over cross-row register blocking: the weight
+// matrices of this study are L1-resident, so sharing loaded b elements
+// across rows buys nothing, while the extra per-row zero-skip branching
+// a shared-load kernel needs (each row must skip exactly the inputs
+// MatVec would skip, or bit-identity breaks) costs more than the loads
+// it saves — measured in BenchmarkMatMulRows vs BenchmarkMatVecLoop.
+// Rows remain the parallel-split axis for multi-worker calls.
+func matmulRowsBlocked(out, a, b *Tensor, r0, r1 int) {
+	n := b.Cols
+	k := a.Cols
+	for i := r0; i < r1; i++ {
+		matVecTiled(out.Data[i*n:(i+1)*n], a.Data[i*k:(i+1)*k], b.Data, n)
+	}
 }
 
 // matmulRows computes rows [r0, r1) of out = a·b.
@@ -164,22 +206,53 @@ func parallelRows(rows, workers int, body func(r0, r1 int)) {
 }
 
 // MatVec computes out = x · w where x is a 1×k row vector and w is k×n.
-// It is the hot path of single-token decoding.
+// It is the hot path of single-token decoding. The kernel tiles eight
+// output columns into register accumulators per pass over x, replacing
+// the saxpy form's per-element load/store of out with one store per
+// column; each out element's accumulation sequence (p ascending, zero
+// inputs skipped) is unchanged, so the rewrite is bit-identical to the
+// reference saxpy kernel — the contract every batched and blocked GEMM
+// in this package is pinned to.
 func MatVec(out []float32, x []float32, w *Tensor) {
 	if len(x) != w.Rows || len(out) != w.Cols {
 		panic("tensor: MatVec shape mismatch")
 	}
-	for i := range out {
-		out[i] = 0
+	matVecTiled(out, x, w.Data, w.Cols)
+}
+
+// matVecTiled is the shared row kernel: out = x · w for one activation
+// row, where wd is the k×n weight data laid out row-major.
+func matVecTiled(out, x, wd []float32, n int) {
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		var s0, s1, s2, s3, s4, s5, s6, s7 float32
+		off := i
+		for _, xv := range x {
+			if xv != 0 {
+				wr := wd[off : off+8 : off+8]
+				s0 += xv * wr[0]
+				s1 += xv * wr[1]
+				s2 += xv * wr[2]
+				s3 += xv * wr[3]
+				s4 += xv * wr[4]
+				s5 += xv * wr[5]
+				s6 += xv * wr[6]
+				s7 += xv * wr[7]
+			}
+			off += n
+		}
+		out[i], out[i+1], out[i+2], out[i+3] = s0, s1, s2, s3
+		out[i+4], out[i+5], out[i+6], out[i+7] = s4, s5, s6, s7
 	}
-	n := w.Cols
-	for p, xv := range x {
-		if xv == 0 {
-			continue
+	for ; i < n; i++ {
+		var s float32
+		off := i
+		for _, xv := range x {
+			if xv != 0 {
+				s += xv * wd[off]
+			}
+			off += n
 		}
-		wrow := w.Data[p*n : (p+1)*n]
-		for i, wv := range wrow {
-			out[i] += xv * wv
-		}
+		out[i] = s
 	}
 }
