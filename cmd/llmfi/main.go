@@ -39,6 +39,16 @@
 // beam search) fall back to serial automatically:
 //
 //	llmfi -suite wmt16-like -model QwenS -fault 2bits-comp -decode-batch 16
+//
+// The distributed fabric shards one campaign across processes: a
+// coordinator owns the trial-index space and hands out leases over the
+// versioned HTTP API (internal/fabric), workers execute leased indices
+// and stream results back, and the merged Result is bit-identical to a
+// single-process run. Every process constructs the campaign from its
+// own flags; the join handshake rejects mismatched configurations.
+//
+//	llmfi -suite wmt16-like -model QwenS -trials 5000 -coordinator :8080 -checkpoint fleet.ckpt
+//	llmfi -suite wmt16-like -model QwenS -trials 5000 -worker http://coordinator:8080
 package main
 
 import (
@@ -53,8 +63,10 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/fabric"
 	"repro/internal/faults"
 	"repro/internal/gen"
 	"repro/internal/metrics"
@@ -64,6 +76,7 @@ import (
 	"repro/internal/pretrained"
 	"repro/internal/report"
 	"repro/internal/tasks"
+	"repro/internal/version"
 )
 
 const usageExamples = `
@@ -78,6 +91,8 @@ examples:
   llmfi -suite wmt16-like -model QwenS -fault 2bits-comp -trace traces.jsonl -trace-sample 16
   llmfi -suite wmt16-like -model QwenS -trials 5000 -progress -http :9090
   llmfi -suite wmt16-like -model QwenS -fault 2bits-comp -decode-batch 16
+  llmfi -suite wmt16-like -model QwenS -trials 5000 -coordinator :8080 -checkpoint fleet.ckpt
+  llmfi -suite wmt16-like -model QwenS -trials 5000 -worker http://coordinator:8080
   llmfi -list
 `
 
@@ -111,7 +126,13 @@ func main() {
 		csvSum    = flag.String("csv-summary", "", "write the aggregate summary to this CSV file")
 		tracePath = flag.String("trace", "", "write sampled propagation traces (JSONL) to this file")
 		traceN    = flag.Int("trace-sample", 16, "with -trace: trace every N-th trial (1 = all)")
-		httpAddr  = flag.String("http", "", "serve /metrics, /healthz, /trials and /debug/pprof on this address (e.g. :9090)")
+		httpAddr  = flag.String("http", "", "serve /metrics, /healthz, /api/v1/trials and /debug/pprof on this address (e.g. :9090)")
+		coordAddr = flag.String("coordinator", "", "serve as fleet coordinator on this address (e.g. :8080); workers execute the trials")
+		workerURL = flag.String("worker", "", "join the fleet coordinator at this base URL (e.g. http://host:8080) as a worker")
+		workerID  = flag.String("worker-name", "", "with -worker: fixed fleet identity (default: coordinator-assigned)")
+		leaseN    = flag.Int("lease-trials", 0, "with -coordinator: trial indices per lease (0 = default 16)")
+		leaseTTL  = flag.Duration("lease-ttl", 0, "with -coordinator: lease expiry without worker contact (0 = default 30s)")
+		showVer   = flag.Bool("version", false, "print the llmfi version and exit")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: llmfi [flags]\n\nflags:\n")
@@ -120,9 +141,16 @@ func main() {
 	}
 	flag.Parse()
 
+	if *showVer {
+		fmt.Println("llmfi " + version.Version)
+		return
+	}
 	if *list {
 		printInventory()
 		return
+	}
+	if *coordAddr != "" && *workerURL != "" {
+		log.Fatal("llmfi: -coordinator and -worker are mutually exclusive")
 	}
 
 	suite, err := buildSuite(*suiteName, *seed, *instances)
@@ -147,40 +175,53 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Checkpoint wiring: -checkpoint names the file; a bare -resume reuses
+	// its file so the resumed run keeps checkpointing. In fabric modes the
+	// campaign itself carries no path — trial persistence belongs to the
+	// coordinator (workers must never write a local checkpoint).
+	saveTo := *ckptPath
+	if saveTo == "" {
+		saveTo = *resume
+	}
 	opts := []core.Option{
 		core.WithWorkers(*workers),
 		core.WithDecodeBatch(*batchDec),
 		core.WithGen(gen.Settings{NumBeams: *beams}),
 		core.WithReasoningOnly(*reasoning),
+		core.WithCheckpointInterval(*ckptEvery),
+	}
+	if saveTo != "" && *coordAddr == "" && *workerURL == "" {
+		opts = append(opts, core.WithCheckpointPath(saveTo))
 	}
 	if *gateOnly {
 		opts = append(opts, core.WithFilter(faults.GateOnly))
 	}
-	c := core.New(m, suite, fm, *trials, *seed, opts...)
 	if *abft || *abftAll {
 		pol, err := mitigate.ParsePolicy(*abftPol)
 		if err != nil {
 			log.Fatal(err)
 		}
-		c.ABFT = &core.ABFTConfig{Tol: *abftTol, Policy: pol, AllLayers: *abftAll}
+		opts = append(opts, core.WithABFT(core.ABFTConfig{Tol: *abftTol, Policy: pol, AllLayers: *abftAll}))
 	}
+	c := core.New(m, suite, fm, *trials, *seed, opts...)
 
 	// SIGINT cancels the campaign; the runner writes a final checkpoint
 	// on the way out, so no completed trial is lost.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	saveTo := *ckptPath
-	if saveTo == "" {
-		saveTo = *resume
+	if *coordAddr != "" {
+		runCoordinator(ctx, c, *coordAddr, *ckptPath, *ckptEvery, *leaseN, *leaseTTL, *csvTrials, *csvSum)
+		return
 	}
+	if *workerURL != "" {
+		runWorker(ctx, c, *workerURL, *workerID)
+		return
+	}
+
 	tel := core.NewTelemetry()
 	ropts := []core.RunnerOption{
 		core.WithTelemetry(tel),
-		core.WithCheckpointEvery(*ckptEvery),
-	}
-	if saveTo != "" {
-		ropts = append(ropts, core.WithCheckpoint(saveTo))
 	}
 	if *resume != "" {
 		ck, err := core.LoadCheckpoint(*resume)
@@ -223,7 +264,7 @@ func main() {
 		hs := &http.Server{Handler: srv.Handler()}
 		go hs.Serve(ln)
 		defer hs.Close()
-		fmt.Fprintf(os.Stderr, "llmfi: serving /metrics /healthz /trials /debug/pprof on http://%s\n", ln.Addr())
+		fmt.Fprintf(os.Stderr, "llmfi: serving /metrics /healthz /api/v1/trials /debug/pprof on http://%s\n", ln.Addr())
 	}
 
 	var final core.CampaignDone
@@ -290,6 +331,81 @@ func main() {
 		if err := writeCSV(*csvSum, final.Result, report.WriteSummaryCSV); err != nil {
 			log.Fatal(err)
 		}
+	}
+}
+
+// runCoordinator serves the fleet API on addr and blocks until every
+// trial is merged, then prints the campaign result exactly like a
+// single-process run (the merge is bit-identical).
+func runCoordinator(ctx context.Context, c core.Campaign, addr, ckptPath string, ckptEvery, leaseTrials int, leaseTTL time.Duration, csvTrials, csvSum string) {
+	co, err := fabric.NewCoordinator(fabric.CoordinatorConfig{
+		Campaign:        c,
+		LeaseTTL:        leaseTTL,
+		LeaseTrials:     leaseTrials,
+		CheckpointPath:  ckptPath,
+		CheckpointEvery: ckptEvery,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if n := co.Restored(); n > 0 {
+		fmt.Fprintf(os.Stderr, "llmfi: coordinator restored %d/%d trials from %s\n", n, c.Trials, ckptPath)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: co.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	fmt.Fprintf(os.Stderr, "llmfi: coordinating %d trials on http://%s (join with -worker)\n", c.Trials, ln.Addr())
+
+	res, err := co.Result(ctx)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			if err := co.Checkpoint(); err != nil {
+				log.Print(err)
+			}
+			done, total := co.Done()
+			fmt.Fprintf(os.Stderr, "llmfi: coordinator interrupted with %d/%d trials merged\n", done, total)
+			if ckptPath != "" {
+				fmt.Fprintln(os.Stderr, "llmfi: restart the coordinator with the same flags to resume")
+			}
+			os.Exit(130)
+		}
+		log.Fatal(err)
+	}
+	printResult(res)
+	if csvTrials != "" {
+		if err := writeCSV(csvTrials, res, report.WriteTrialsCSV); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if csvSum != "" {
+		if err := writeCSV(csvSum, res, report.WriteSummaryCSV); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// runWorker joins the coordinator at url and executes leases until the
+// campaign completes.
+func runWorker(ctx context.Context, c core.Campaign, url, name string) {
+	wk, err := fabric.NewWorker(fabric.WorkerConfig{
+		Campaign:    c,
+		Coordinator: url,
+		Name:        name,
+		Logf:        log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := wk.Run(ctx); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintf(os.Stderr, "llmfi: worker interrupted after %d trials (outstanding leases will be reissued)\n", wk.Executed())
+			os.Exit(130)
+		}
+		log.Fatal(err)
 	}
 }
 

@@ -31,11 +31,9 @@ func main() {
 	fmt.Println("beams  norm-BLEU  steps/trial  ms/trial")
 	for _, beams := range []int{1, 2, 4, 6, 8} {
 		start := time.Now()
-		res, err := core.Campaign{
-			Model: m, Suite: suite, Fault: faults.Comp2Bit,
-			Trials: 120, Seed: 31,
-			Gen: gen.Settings{NumBeams: beams},
-		}.Run(context.Background())
+		res, err := core.New(m, suite, faults.Comp2Bit, 120, 31,
+			core.WithGen(gen.Settings{NumBeams: beams}),
+		).Run(context.Background())
 		if err != nil {
 			log.Fatal(err)
 		}

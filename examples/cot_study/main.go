@@ -34,13 +34,11 @@ func main() {
 	}{{"CoT", true}, {"direct", false}} {
 		suite := mt.Suite(11, 8, mode.cot)
 		for _, fm := range []faults.Model{faults.Comp2Bit, faults.Mem2Bit} {
-			res, err := core.Campaign{
-				Model: m, Suite: suite, Fault: fm,
-				Trials: 160, Seed: 77,
-				// The paper injects computational faults only into the
-				// reasoning-token iterations when CoT is on (§4.3.2).
-				ReasoningOnly: mode.cot && fm == faults.Comp2Bit,
-			}.Run(context.Background())
+			// The paper injects computational faults only into the
+			// reasoning-token iterations when CoT is on (§4.3.2).
+			res, err := core.New(m, suite, fm, 160, 77,
+				core.WithReasoningOnly(mode.cot && fm == faults.Comp2Bit),
+			).Run(context.Background())
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -51,10 +49,9 @@ func main() {
 	// Hunt for a recovery example: the chain changed but the final answer
 	// survived (Masked despite Changed).
 	suite := mt.Suite(11, 8, true)
-	res, err := core.Campaign{
-		Model: m, Suite: suite, Fault: faults.Comp2Bit,
-		Trials: 400, Seed: 13, ReasoningOnly: true,
-	}.Run(context.Background())
+	res, err := core.New(m, suite, faults.Comp2Bit, 400, 13,
+		core.WithReasoningOnly(true),
+	).Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -34,11 +34,9 @@ func main() {
 	suite := tasks.NewSelfRefSuite("wmt16-like", 7, 8, 8, 12,
 		[]metrics.Kind{metrics.KindBLEU, metrics.KindChrF})
 
-	res, err := core.Campaign{
-		Model: m, Suite: suite, Fault: faults.Mem2Bit,
-		Trials: 150, Seed: 9,
-		Filter: faults.GateOnly, // routers only — the attack surface
-	}.Run(context.Background())
+	res, err := core.New(m, suite, faults.Mem2Bit, 150, 9,
+		core.WithFilter(faults.GateOnly), // routers only — the attack surface
+	).Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -35,17 +35,14 @@ func main() {
 	profile := mitigate.Calibrate(m.Clone(), calib, 0)
 	fmt.Printf("calibrated %d layer ranges on %d held-out prompts\n\n", profile.Layers(), 16)
 
-	base := core.Campaign{
-		Model: m, Suite: suite, Fault: faults.Mem2Bit,
-		Trials: 200, Seed: 99,
-	}
-	plain, err := base.Run(context.Background())
+	plain, err := core.New(m, suite, faults.Mem2Bit, 200, 99).Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
 	restrictor := mitigate.NewRestrictor(profile)
-	base.ExtraHook = restrictor.Hook
-	protected, err := base.Run(context.Background())
+	protected, err := core.New(m, suite, faults.Mem2Bit, 200, 99,
+		core.WithExtraHook(restrictor.Hook),
+	).Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -134,6 +134,17 @@ func EvalBaseline(m *model.Model, suite *tasks.Suite, gs gen.Settings, check Ans
 	return evalBaseline(m, suite, gs, check, nil)
 }
 
+// EvalBaseline evaluates the campaign's fault-free baseline with its
+// effective decoding settings and answer checker — the same evaluation
+// every runner of the campaign performs. The fabric coordinator uses it
+// to complete the merged distributed Result: the baseline is
+// deterministic, so the coordinator's copy is bit-identical to the one
+// each worker computed locally.
+func (c Campaign) EvalBaseline() *Baseline {
+	gs, check := c.effective()
+	return evalBaseline(c.Model, c.Suite, gs, check, nil)
+}
+
 // evalBaseline is EvalBaseline plus optional activation capture: when
 // capMinPos is non-nil, each instance's clean per-layer outputs from
 // position capMinPos(inst) onward are recorded (via a temporary hook on

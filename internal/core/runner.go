@@ -35,6 +35,9 @@ type Runner struct {
 	tel       *Telemetry
 	progEvery int
 
+	only     []int
+	baseline *Baseline
+
 	traceEvery int
 	traceSink  func(trace.Record) error
 	traceTol   float64
@@ -75,6 +78,32 @@ func WithProgressEvery(n int) RunnerOption {
 	return func(r *Runner) { r.progEvery = n }
 }
 
+// WithOnly restricts execution to the given trial indices — the
+// lease-range mode the distributed fabric workers run in. Indices
+// outside [0, Trials) are ignored; duplicates collapse. The Result is
+// partial (only the selected trials are filled in), which is sound for
+// consumers that merge TrialDone events by index: trial t's outcome is a
+// pure function of (campaign fingerprint, t), so any partition of the
+// index space unions to the bit-identical full Result.
+func WithOnly(indices []int) RunnerOption {
+	return func(r *Runner) {
+		// make (not append) so an empty selection stays non-nil: it means
+		// "run nothing", whereas nil means "run everything".
+		r.only = make([]int, len(indices))
+		copy(r.only, indices)
+	}
+}
+
+// WithBaseline supplies a previously computed fault-free baseline,
+// skipping the runner's own baseline evaluation. The baseline must come
+// from an equivalent campaign on the same model value (in practice: a
+// prior run's BaselineReady event — the fabric worker evaluates it once
+// and reuses it across leases). A baseline captured without activation
+// capture silently disables propagation probes for traced trials.
+func WithBaseline(b *Baseline) RunnerOption {
+	return func(r *Runner) { r.baseline = b }
+}
+
 // WithTrace enables propagation tracing: every n-th trial (n=1 traces
 // all) runs with a probe that diffs its layer activations against the
 // instance's clean baseline capture, and the resulting trace.Record is
@@ -100,9 +129,11 @@ func WithTraceTol(tol float64) RunnerOption {
 	return func(r *Runner) { r.traceTol = tol }
 }
 
-// NewRunner wraps a Campaign in the streaming runtime.
+// NewRunner wraps a Campaign in the streaming runtime. Campaign-level
+// checkpoint settings (WithCheckpointPath / WithCheckpointInterval) seed
+// the runner's defaults; RunnerOptions override them.
 func NewRunner(c Campaign, opts ...RunnerOption) *Runner {
-	r := &Runner{c: c, ckptEvery: 64, progEvery: 1}
+	r := &Runner{c: c, ckptPath: c.ckptPath, ckptEvery: c.ckptEvery, progEvery: 1}
 	for _, opt := range opts {
 		opt(r)
 	}
@@ -220,24 +251,27 @@ func (r *Runner) run(ctx context.Context, emit func(Event)) (*Result, error) {
 		traceTol = trace.DefaultTol
 	}
 
-	if c.ExtraHook != nil {
-		c.Model.AddHook(c.ExtraHook())
-	}
-	var capMinPos func(inst *tasks.Instance) int
-	if traceOn {
-		// Transient computational faults strike only during decode, so
-		// prompt-position activations are dead weight; a resident memory
-		// fault corrupts the prefill too, so everything is captured.
-		capMinPos = func(inst *tasks.Instance) int {
-			if c.Fault.IsMemory() {
-				return 0
-			}
-			return len(inst.Prompt)
+	baseline := r.baseline
+	if baseline == nil {
+		if c.ExtraHook != nil {
+			c.Model.AddHook(c.ExtraHook())
 		}
-	}
-	baseline := evalBaseline(c.Model, c.Suite, gs, check, capMinPos)
-	if c.ExtraHook != nil {
-		c.Model.ClearHooks()
+		var capMinPos func(inst *tasks.Instance) int
+		if traceOn {
+			// Transient computational faults strike only during decode, so
+			// prompt-position activations are dead weight; a resident memory
+			// fault corrupts the prefill too, so everything is captured.
+			capMinPos = func(inst *tasks.Instance) int {
+				if c.Fault.IsMemory() {
+					return 0
+				}
+				return len(inst.Prompt)
+			}
+		}
+		baseline = evalBaseline(c.Model, c.Suite, gs, check, capMinPos)
+		if c.ExtraHook != nil {
+			c.Model.ClearHooks()
+		}
 	}
 	emit(BaselineReady{Baseline: baseline})
 
@@ -256,9 +290,19 @@ func (r *Runner) run(ctx context.Context, emit func(Event)) (*Result, error) {
 			restored = append(restored, r.resume.Trials[i])
 		}
 	}
+	selected := func(int) bool { return true }
+	if r.only != nil {
+		sel := make([]bool, c.Trials)
+		for _, t := range r.only {
+			if t >= 0 && t < c.Trials {
+				sel[t] = true
+			}
+		}
+		selected = func(t int) bool { return sel[t] }
+	}
 	pending := make([]int, 0, c.Trials-done)
 	for t := 0; t < c.Trials; t++ {
-		if !completed[t] {
+		if !completed[t] && selected(t) {
 			pending = append(pending, t)
 		}
 	}

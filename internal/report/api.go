@@ -1,0 +1,44 @@
+package report
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// APIVersion is the versioned HTTP surface prefix shared by the
+// observability server and the distributed campaign fabric. Endpoints
+// under it speak JSON with typed request/response structs; breaking
+// changes bump the prefix (and the fabric wire schema) together.
+const APIVersion = "/api/v1"
+
+// APIError is the JSON error envelope of every /api/v1 endpoint: a
+// machine-readable code, a human-readable message, and the HTTP status
+// echoed in the body so logs of captured payloads stay self-describing.
+type APIError struct {
+	Error APIErrorBody `json:"error"`
+}
+
+// APIErrorBody is the envelope payload.
+type APIErrorBody struct {
+	Status  int    `json:"status"`
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// WriteAPIError writes the envelope with the given HTTP status.
+func WriteAPIError(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(APIError{Error: APIErrorBody{Status: status, Code: code, Message: msg}})
+}
+
+// DecodeJSON unmarshals an API request body into v, rejecting unknown
+// fields so schema drift between fleet binaries surfaces as a typed
+// error instead of silently-dropped fields.
+func DecodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}

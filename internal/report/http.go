@@ -27,10 +27,13 @@ type TrialEvent struct {
 
 // Server exposes a live campaign over HTTP: /metrics (Prometheus text
 // exposition of the telemetry snapshot, including the per-phase latency
-// histograms), /healthz (liveness + campaign progress), /trials (the
-// most recent TrialDone events, newest first), and net/http/pprof under
-// /debug/pprof/. Feed it events from the runner's stream via Observe;
-// all handlers are safe for concurrent use while the campaign runs.
+// histograms), /healthz (liveness + campaign progress), /api/v1/trials
+// (the most recent TrialDone events, newest first; the pre-v1 /trials
+// path answers 301 to it), and net/http/pprof under /debug/pprof/.
+// Unknown /api/v1 paths and wrong methods answer the JSON error
+// envelope (APIError). Feed it events from the runner's stream via
+// Observe; all handlers are safe for concurrent use while the campaign
+// runs.
 type Server struct {
 	label string
 	tel   *core.Telemetry
@@ -82,12 +85,22 @@ func (s *Server) Observe(ev core.Event) {
 	}
 }
 
-// Handler returns the server's route mux.
+// Handler returns the server's route mux. The conventional operational
+// paths (/metrics, /healthz, /debug/pprof) stay at their expected
+// locations; campaign data lives under the versioned APIVersion prefix.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/trials", s.handleTrials)
+	mux.HandleFunc(APIVersion+"/trials", s.handleTrials)
+	// The pre-v1 path survives as a permanent redirect so existing
+	// dashboards and curl muscle memory keep working.
+	mux.Handle("/trials", http.RedirectHandler(APIVersion+"/trials", http.StatusMovedPermanently))
+	// Everything else under the API prefix is a typed JSON 404 — API
+	// consumers should never see the default text/html error page.
+	mux.HandleFunc(APIVersion+"/", func(w http.ResponseWriter, r *http.Request) {
+		WriteAPIError(w, http.StatusNotFound, "not_found", "unknown API path "+r.URL.Path)
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -115,7 +128,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, resp)
 }
 
-func (s *Server) handleTrials(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleTrials(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		WriteAPIError(w, http.StatusMethodNotAllowed, "method_not_allowed", r.Method+" not allowed; use GET")
+		return
+	}
 	s.mu.Lock()
 	out := make([]TrialEvent, 0, len(s.recent))
 	// Newest first: walk the ring backwards from the last write.

@@ -267,24 +267,52 @@ func TestServerEndpoints(t *testing.T) {
 		}
 	}
 
-	rr, body = get("/trials")
+	// The pre-v1 path answers a permanent redirect to the versioned one.
+	rr, _ = get("/trials")
+	if rr.Code != 301 {
+		t.Fatalf("/trials status %d, want 301", rr.Code)
+	}
+	if loc := rr.Header().Get("Location"); loc != APIVersion+"/trials" {
+		t.Fatalf("/trials redirects to %q", loc)
+	}
+
+	rr, body = get(APIVersion + "/trials")
 	if rr.Code != 200 {
-		t.Fatalf("/trials status %d", rr.Code)
+		t.Fatalf("%s/trials status %d", APIVersion, rr.Code)
 	}
 	var trials []TrialEvent
 	if err := json.Unmarshal([]byte(body), &trials); err != nil {
 		t.Fatal(err)
 	}
 	if len(trials) != recentTrials {
-		t.Fatalf("/trials returned %d events, want ring size %d", len(trials), recentTrials)
+		t.Fatalf("trials returned %d events, want ring size %d", len(trials), recentTrials)
 	}
 	// Newest first: the last observed index leads, and the ring dropped
 	// the oldest three.
 	if trials[0].Index != recentTrials+2 || trials[len(trials)-1].Index != 3 {
-		t.Fatalf("/trials order wrong: first %d last %d", trials[0].Index, trials[len(trials)-1].Index)
+		t.Fatalf("trials order wrong: first %d last %d", trials[0].Index, trials[len(trials)-1].Index)
 	}
 	if !trials[0].Traced {
-		t.Fatal("traced flag lost in /trials")
+		t.Fatal("traced flag lost in trials payload")
+	}
+
+	// Wrong method and unknown API paths answer the JSON error envelope.
+	post := func(path string) (*httptest.ResponseRecorder, string) {
+		req := httptest.NewRequest("POST", path, nil)
+		rr := httptest.NewRecorder()
+		srv.Handler().ServeHTTP(rr, req)
+		return rr, rr.Body.String()
+	}
+	rr, body = post(APIVersion + "/trials")
+	if rr.Code != 405 || !strings.Contains(body, "method_not_allowed") {
+		t.Fatalf("POST trials: status %d body %s", rr.Code, body)
+	}
+	rr, body = get(APIVersion + "/nope")
+	if rr.Code != 404 || !strings.Contains(body, "not_found") {
+		t.Fatalf("unknown API path: status %d body %s", rr.Code, body)
+	}
+	if ct := rr.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("error envelope content type %q", ct)
 	}
 
 	// CampaignDone flips /healthz to finished and surfaces the error.

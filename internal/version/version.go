@@ -1,0 +1,12 @@
+// Package version pins the build's release identity. The fabric join
+// handshake compares it across the fleet — a worker built from a
+// different revision than its coordinator could sample different
+// injection sites or classify outcomes differently, silently breaking
+// the bit-identity guarantee of the distributed merge — and llmfi
+// -version prints it so mismatched binaries can be identified by hand.
+package version
+
+// Version identifies the llmfi runtime release. Bump it whenever a
+// change could alter campaign results (sampling, decoding, scoring,
+// classification); fleets must run one version end to end.
+const Version = "0.7.0"
