@@ -30,28 +30,33 @@ race:
 	$(GO) test -race ./...
 	GORACE=halt_on_error=1 $(GO) test -race -count=1 \
 		-run '^Test(Runner|Trace|Resume|Checkpoint|Batched)' ./internal/core/
+	GORACE=halt_on_error=1 $(GO) test -race -count=1 \
+		-run '^Test(Serve|Handler|Loadgen)' ./internal/serve/...
 
 ## bench: the campaign throughput benchmarks (Figure reproductions live
 ## in bench_test.go at the repo root), plus the machine-readable runtime
 ## comparisons: seed path vs prefix engine vs streaming runner
 ## (BENCH_2.json), ABFT off vs site-only vs all-layer checking
 ## (BENCH_3.json), tracing off vs sampled vs every-trial probes
-## (BENCH_4.json), and serial vs continuous-batching decode at widths
-## 8/16/32 (BENCH_5.json). Works from a fresh clone: prior BENCH_*.json
-## files are not required, and the final dump tolerates any that are
-## missing.
+## (BENCH_4.json), serial vs continuous-batching decode at widths
+## 8/16/32 (BENCH_5.json), and serving-under-faults latency/SLO/detection
+## with ABFT off/site/all over 8 request streams (BENCH_6.json). Works
+## from a fresh clone: prior BENCH_*.json files are not required, and the
+## final dump tolerates any that are missing.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
 	BENCH_JSON_OUT=$(CURDIR)/BENCH_2.json $(GO) test -run '^TestEmitBenchJSON$$' -v ./internal/core/
 	BENCH3_JSON_OUT=$(CURDIR)/BENCH_3.json $(GO) test -run '^TestEmitABFTBenchJSON$$' -v ./internal/core/
 	BENCH4_JSON_OUT=$(CURDIR)/BENCH_4.json $(GO) test -run '^TestEmitTraceBenchJSON$$' -v ./internal/core/
 	BENCH5_JSON_OUT=$(CURDIR)/BENCH_5.json $(GO) test -run '^TestEmitBatchBenchJSON$$' -v ./internal/core/
+	BENCH6_JSON_OUT=$(CURDIR)/BENCH_6.json $(GO) test -run '^TestEmitServeBenchJSON$$' -v ./internal/serve/
 	@for f in $(CURDIR)/BENCH_*.json; do [ -f "$$f" ] && cat "$$f" || true; done
 
 ## fuzz: short smoke sessions of the fuzz targets (also run in CI).
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzHalfRoundTrip$$' -fuzztime 10s ./internal/numerics/
 	$(GO) test -run '^$$' -fuzz '^FuzzFlipBits$$' -fuzztime 10s ./internal/faults/
+	$(GO) test -run '^$$' -fuzz '^FuzzGenerateRequest$$' -fuzztime 10s ./internal/serve/
 
 ## cover: the detection-layer coverage gate enforced by CI — the ABFT and
 ## mitigation packages must stay above 85% combined.

@@ -40,6 +40,20 @@
 //
 //	llmfi -suite wmt16-like -model QwenS -fault 2bits-comp -decode-batch 16
 //
+// The serving extension runs the same model behind a live generate
+// endpoint instead of an offline campaign: -serve exposes
+// POST /api/v1/generate (plus /healthz and Prometheus /metrics) on the
+// continuous-batching engine, SIGINT drains in-flight requests before
+// exit, and -inject turns live traffic into a fault campaign — one
+// fault per request, sampled over -surfaces, optionally checked by
+// -abft. The -loadgen mode is the matching client: it fires
+// deterministic concurrent request streams at a running -serve process
+// and reports p50/p99 latency, SLO violations, and the outcome tally.
+//
+//	llmfi -serve :9419 -model QwenS -suite wmt16-like
+//	llmfi -serve :9419 -model QwenS -suite wmt16-like -inject -fault 1bit-comp -abft
+//	llmfi -loadgen http://127.0.0.1:9419 -model QwenS -suite wmt16-like -streams 8 -requests 64 -slo 250ms
+//
 // The distributed fabric shards one campaign across processes: a
 // coordinator owns the trial-index space and hands out leases over the
 // versioned HTTP API (internal/fabric), workers execute leased indices
@@ -75,6 +89,8 @@ import (
 	"repro/internal/numerics"
 	"repro/internal/pretrained"
 	"repro/internal/report"
+	"repro/internal/serve"
+	"repro/internal/serve/loadgen"
 	"repro/internal/tasks"
 	"repro/internal/version"
 )
@@ -93,6 +109,8 @@ examples:
   llmfi -suite wmt16-like -model QwenS -fault 2bits-comp -decode-batch 16
   llmfi -suite wmt16-like -model QwenS -trials 5000 -coordinator :8080 -checkpoint fleet.ckpt
   llmfi -suite wmt16-like -model QwenS -trials 5000 -worker http://coordinator:8080
+  llmfi -serve :9419 -model QwenS -suite wmt16-like -inject -fault 1bit-comp -abft
+  llmfi -loadgen http://127.0.0.1:9419 -model QwenS -suite wmt16-like -streams 8 -requests 64 -slo 250ms
   llmfi -list
 `
 
@@ -130,6 +148,15 @@ func main() {
 		coordAddr = flag.String("coordinator", "", "serve as fleet coordinator on this address (e.g. :8080); workers execute the trials")
 		workerURL = flag.String("worker", "", "join the fleet coordinator at this base URL (e.g. http://host:8080) as a worker")
 		workerID  = flag.String("worker-name", "", "with -worker: fixed fleet identity (default: coordinator-assigned)")
+		serveAddr = flag.String("serve", "", "serve POST /api/v1/generate, /healthz and /metrics on this address (e.g. :9419); SIGINT drains in-flight requests")
+		loadURL   = flag.String("loadgen", "", "drive deterministic request streams at a llmfi -serve endpoint at this base URL (e.g. http://127.0.0.1:9419)")
+		streams   = flag.Int("streams", 8, "with -serve/-loadgen: engine decode width / concurrent client streams")
+		requests  = flag.Int("requests", 64, "with -loadgen: total requests to fire")
+		maxNew    = flag.Int("max-new", 12, "with -loadgen: per-request generation budget (0 = server default)")
+		reqDL     = flag.Duration("req-deadline", 0, "with -loadgen: per-request deadline (0 = none)")
+		sloDur    = flag.Duration("slo", 0, "with -serve/-loadgen: latency objective; slower requests count as SLO violations")
+		injectLv  = flag.Bool("inject", false, "with -serve: campaign mode — inject one fault per request (shaped by -fault, -surfaces, -abft)")
+		surfaces  = flag.String("surfaces", "all", "with -serve -inject: comma-separated fault surfaces (linear,kv,norm,embed,attn) or 'all'")
 		leaseN    = flag.Int("lease-trials", 0, "with -coordinator: trial indices per lease (0 = default 16)")
 		leaseTTL  = flag.Duration("lease-ttl", 0, "with -coordinator: lease expiry without worker contact (0 = default 30s)")
 		showVer   = flag.Bool("version", false, "print the llmfi version and exit")
@@ -151,6 +178,12 @@ func main() {
 	}
 	if *coordAddr != "" && *workerURL != "" {
 		log.Fatal("llmfi: -coordinator and -worker are mutually exclusive")
+	}
+	if *serveAddr != "" && *loadURL != "" {
+		log.Fatal("llmfi: -serve and -loadgen are mutually exclusive")
+	}
+	if (*serveAddr != "" || *loadURL != "") && (*coordAddr != "" || *workerURL != "") {
+		log.Fatal("llmfi: -serve/-loadgen cannot combine with the fleet flags")
 	}
 
 	suite, err := buildSuite(*suiteName, *seed, *instances)
@@ -209,6 +242,33 @@ func main() {
 	// on the way out, so no completed trial is lost.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	if *serveAddr != "" {
+		var inj *serve.InjectConfig
+		if *injectLv {
+			sfs, err := parseSurfaces(*surfaces)
+			if err != nil {
+				log.Fatal(err)
+			}
+			inj = &serve.InjectConfig{Fault: fm, Surfaces: sfs, Seed: *seed}
+			if *abft || *abftAll {
+				pol, err := mitigate.ParsePolicy(*abftPol)
+				if err != nil {
+					log.Fatal(err)
+				}
+				inj.ABFT = &serve.ABFTConfig{Tol: *abftTol, Policy: pol, AllLayers: *abftAll}
+			}
+		}
+		runServe(ctx, m, suite, *serveAddr, *streams, *sloDur, inj)
+		return
+	}
+	if *loadURL != "" {
+		runLoadgen(ctx, suite, *loadURL, loadgen.Config{
+			Streams: *streams, Requests: *requests, MaxNew: *maxNew,
+			Deadline: *reqDL, Seed: *seed, SLO: *sloDur,
+		})
+		return
+	}
 
 	if *coordAddr != "" {
 		runCoordinator(ctx, c, *coordAddr, *ckptPath, *ckptEvery, *leaseN, *leaseTTL, *csvTrials, *csvSum)
@@ -407,6 +467,96 @@ func runWorker(ctx context.Context, c core.Campaign, url, name string) {
 		}
 		log.Fatal(err)
 	}
+}
+
+// runServe exposes the model behind the live generate endpoint on the
+// continuous-batching engine and blocks until SIGINT, then drains every
+// in-flight request before returning (Engine.Run's graceful-drain
+// contract).
+func runServe(ctx context.Context, m *model.Model, suite *tasks.Suite, addr string, width int, slo time.Duration, inj *serve.InjectConfig) {
+	e, err := serve.NewEngine(serve.Config{
+		Model: m, Vocab: suite.Vocab, Width: width, SLO: slo, Inject: inj,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: e.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	mode := "clean"
+	if inj != nil {
+		mode = fmt.Sprintf("fault campaign: %v over %d surfaces", inj.Fault, len(inj.Surfaces))
+		if inj.ABFT != nil {
+			mode += ", abft armed"
+		}
+	}
+	fmt.Fprintf(os.Stderr, "llmfi: serving %s/generate /healthz /metrics on http://%s (%s; SIGINT drains)\n",
+		report.APIVersion, ln.Addr(), mode)
+	if err := e.Run(ctx); err != nil {
+		log.Fatal(err)
+	}
+	s := e.Metrics().Snapshot()
+	var total int64
+	for _, n := range s.Requests {
+		total += n
+	}
+	fmt.Fprintf(os.Stderr, "llmfi: drained: %d requests finished, %d tokens generated, %d SLO violations\n",
+		total, s.Tokens, s.SLOViolations)
+}
+
+// runLoadgen fires deterministic request streams at a remote -serve
+// endpoint, drawing prompts from the configured suite (the server must
+// be built from the same -suite/-model flags for the vocabulary to
+// round-trip), and prints the operator-facing summary.
+func runLoadgen(ctx context.Context, suite *tasks.Suite, url string, cfg loadgen.Config) {
+	cfg.Prompts = make([][]int, len(suite.Instances))
+	for i, inst := range suite.Instances {
+		cfg.Prompts[i] = inst.Prompt
+	}
+	tgt := &loadgen.HTTPTarget{Base: strings.TrimRight(url, "/"), Vocab: suite.Vocab}
+	st, err := loadgen.Run(ctx, tgt, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loadgen: %d requests over %d streams against %s\n",
+		cfg.Requests, cfg.Streams, tgt.Base)
+	fmt.Printf("  status: ok %d, deadline %d, canceled %d, failed %d\n",
+		st.OK, st.DeadlineExceeded, st.Canceled, st.Failed)
+	fmt.Printf("  latency: p50 %v  p90 %v  p99 %v  max %v\n", st.P50, st.P90, st.P99, st.Max)
+	if cfg.SLO > 0 {
+		fmt.Printf("  slo %v: %d violations (%.1f%%)\n",
+			cfg.SLO, st.SLOViolations, 100*float64(st.SLOViolations)/float64(cfg.Requests))
+	}
+	if st.Injected > 0 {
+		fmt.Printf("  campaign: injected %d, fired %d\n", st.Injected, st.Fired)
+	}
+	if st.Failed > 0 {
+		for _, resp := range st.Responses {
+			if resp.Err != nil && resp.Err != context.DeadlineExceeded && resp.Err != context.Canceled {
+				log.Fatalf("llmfi: request %s failed: %v", resp.ID, resp.Err)
+			}
+		}
+	}
+}
+
+// parseSurfaces reads the -surfaces list ("all" = every surface).
+func parseSurfaces(s string) ([]faults.Surface, error) {
+	if s == "" || s == "all" {
+		return faults.Surfaces, nil
+	}
+	var out []faults.Surface
+	for _, name := range strings.Split(s, ",") {
+		sf, err := faults.ParseSurface(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sf)
+	}
+	return out, nil
 }
 
 // writeTelemetry dumps the telemetry snapshot as JSON to path.

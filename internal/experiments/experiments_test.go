@@ -22,6 +22,8 @@ func TestRegistryComplete(t *testing.T) {
 		"fig_abft",
 		// Propagation-trace observability extension (PR 4).
 		"fig_propagation",
+		// Serving-under-faults extension (PR 8).
+		"fig_serving",
 	}
 	have := map[string]bool{}
 	for _, e := range All() {

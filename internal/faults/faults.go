@@ -71,10 +71,16 @@ func (fm Model) NumBits() int {
 // generation iteration during which the transient occurs.
 type Site struct {
 	Fault Model
-	Layer model.LayerRef
+	// Surface selects what the fault strikes. The zero value is
+	// SurfaceLinear — the PR≤7 linear-layer site — so gob checkpoints
+	// and call sites written before the surface taxonomy decode and
+	// behave unchanged.
+	Surface Surface
+	Layer   model.LayerRef
 	// Row, Col locate the weight for memory faults. For computational
 	// faults only Col is used: it is the neuron index within the layer's
-	// output vector.
+	// output vector. Non-linear surfaces reuse them (SampleKV: Row is
+	// the struck cache position; SampleEmbed: Row is the token id).
 	Row, Col int
 	// Bits are the flipped bit positions (0 = LSB of the storage format).
 	Bits []int
@@ -98,10 +104,48 @@ func (s Site) HighestBit() int {
 
 // String renders a compact site descriptor.
 func (s Site) String() string {
+	switch s.Surface {
+	case SurfaceKV:
+		return fmt.Sprintf("%v kv %v cache(t%d,d%d) iter%d bits%v",
+			s.Fault, s.Layer, s.Row, s.Col, s.GenIter, s.Bits)
+	case SurfaceNorm:
+		return fmt.Sprintf("%v norm %s g%d bits%v", s.Fault, normName(s.Layer), s.Col, s.Bits)
+	case SurfaceEmbed:
+		return fmt.Sprintf("%v embed w(%d,%d) bits%v", s.Fault, s.Row, s.Col, s.Bits)
+	case SurfaceAttn:
+		return fmt.Sprintf("%v attn %v n%d iter%d bits%v", s.Fault, s.Layer, s.Col, s.GenIter, s.Bits)
+	}
 	if s.Fault.IsMemory() {
 		return fmt.Sprintf("%v %v w(%d,%d) bits%v", s.Fault, s.Layer, s.Row, s.Col, s.Bits)
 	}
 	return fmt.Sprintf("%v %v n%d iter%d bits%v", s.Fault, s.Layer, s.Col, s.GenIter, s.Bits)
+}
+
+// normName renders a norm-gain address without the "block-1." artifact
+// the generic LayerRef form would give the final norm.
+func normName(ref model.LayerRef) string {
+	if ref.Kind == model.KindFinalNorm {
+		return "final_norm"
+	}
+	return ref.String()
+}
+
+// WeightResident reports whether the armed fault lives in parameter
+// storage for the whole inference — norm/embedding flips and linear
+// memory faults — rather than striking transient per-request state
+// (activations, KV cache). Weight-resident faults cannot be scoped to
+// one row of a shared decode batch: concurrent schedulers must run them
+// on a private copy-on-write clone (the serving engine's serial path),
+// exactly as offline campaigns serialize memory-fault trials per model
+// instance.
+func (s Site) WeightResident() bool {
+	switch s.Surface {
+	case SurfaceNorm, SurfaceEmbed:
+		return true
+	case SurfaceLinear:
+		return s.Fault.IsMemory()
+	}
+	return false
 }
 
 // TargetFilter restricts which layers a sampler may pick. Nil accepts all

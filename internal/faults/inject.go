@@ -12,10 +12,11 @@ import (
 // model (§3.2's flip-back protocol). Exactly one Injection may be armed
 // on a model at a time; the campaign engine enforces this.
 type Injection struct {
-	Site    Site
-	m       *model.Model
-	restore func()
-	hooked  bool
+	Site       Site
+	m          *model.Model
+	restore    func()
+	hooked     bool
+	attnHooked bool
 	// Fired reports whether a computational fault actually struck (its
 	// target iteration was reached). Memory faults always count as fired.
 	Fired bool
@@ -24,8 +25,49 @@ type Injection struct {
 // Arm applies the fault described by site to m. promptLen is the length
 // of the prompt that will be fed before generation starts; computational
 // faults trigger at absolute position promptLen + site.GenIter.
+//
+// Non-linear surfaces arm here too: norm and embedding sites flip their
+// storage through the copy-on-write write paths (NormForWrite,
+// EmbedForWrite) and restore on Disarm; attention-activation sites
+// install a one-shot attention hook. KV-cache sites mutate a State, not
+// the model — arm those with ArmKV.
 func Arm(m *model.Model, site Site, promptLen int) (*Injection, error) {
 	inj := &Injection{Site: site, m: m}
+	switch site.Surface {
+	case SurfaceNorm:
+		g, err := m.NormForWrite(site.Layer)
+		if err != nil {
+			return nil, err
+		}
+		if site.Col >= len(g) {
+			return nil, fmt.Errorf("faults: site %v out of range for %d-gain norm", site, len(g))
+		}
+		old := g[site.Col]
+		g[site.Col] = float32(numerics.FlipBits(numerics.FP32, float64(old), site.Bits...))
+		inj.restore = func() { g[site.Col] = old }
+		inj.Fired = true
+		return inj, nil
+	case SurfaceEmbed:
+		t := m.EmbedForWrite()
+		if site.Row >= t.Rows || site.Col >= t.Cols {
+			return nil, fmt.Errorf("faults: site %v out of range for %dx%d embedding", site, t.Rows, t.Cols)
+		}
+		old := t.At(site.Row, site.Col)
+		t.Set(site.Row, site.Col, float32(numerics.FlipBits(numerics.FP32, float64(old), site.Bits...)))
+		inj.restore = func() { t.Set(site.Row, site.Col, old) }
+		inj.Fired = true
+		return inj, nil
+	case SurfaceAttn:
+		hook, err := attnFaultHook(inj, site, promptLen)
+		if err != nil {
+			return nil, err
+		}
+		inj.attnHooked = true
+		m.AddAttnHook(hook)
+		return inj, nil
+	case SurfaceKV:
+		return nil, fmt.Errorf("faults: kv site %v is state-scoped; arm with ArmKV", site)
+	}
 	if site.Fault.IsMemory() {
 		// LayerForWrite privatizes the target tensor on a weight-sharing
 		// clone before the flip, so sibling campaign workers never observe
@@ -65,16 +107,25 @@ func Arm(m *model.Model, site Site, promptLen int) (*Injection, error) {
 // ArmHook builds the one-shot computational-fault hook for site without
 // installing it on any model — the batched decode scheduler dispatches
 // it on the trial's own batch row, so the fault strikes exactly that
-// row's activations and never a sibling trial's. Memory faults mutate
-// shared weight storage and cannot be scoped to a row; they return an
+// row's activations and never a sibling trial's. Weight-resident faults
+// mutate shared storage and cannot be scoped to a row; they return an
 // error (the scheduler routes such trials through the serial path).
-// The returned Injection has nothing to restore: Disarm is a no-op, and
+// Attention-activation sites are row-scopeable: their hook must go in
+// the row's AttnHooks slot, not Hooks (check Site.Surface). The
+// returned Injection has nothing to restore: Disarm is a no-op, and
 // dropping the hook retires the fault.
 func ArmHook(m *model.Model, site Site, promptLen int) (*Injection, model.Hook, error) {
-	if site.Fault.IsMemory() {
-		return nil, nil, fmt.Errorf("faults: memory fault %v cannot arm as a row hook", site)
+	if site.WeightResident() {
+		return nil, nil, fmt.Errorf("faults: weight-resident fault %v cannot arm as a row hook", site)
+	}
+	if site.Surface == SurfaceKV {
+		return nil, nil, fmt.Errorf("faults: kv site %v is state-scoped; arm with ArmKV", site)
 	}
 	inj := &Injection{Site: site, m: m}
+	if site.Surface == SurfaceAttn {
+		hook, err := attnFaultHook(inj, site, promptLen)
+		return inj, hook, err
+	}
 	target := promptLen + site.GenIter
 	dt := m.Cfg.DType
 	hook := func(ref model.LayerRef, pos int, out []float32) {
@@ -89,6 +140,26 @@ func ArmHook(m *model.Model, site Site, promptLen int) (*Injection, model.Hook, 
 	return inj, hook, nil
 }
 
+// attnFaultHook builds the one-shot attention-activation flip: it fires
+// on the site's block the first time the attention output row for the
+// target position is observed, flipping the FP32 pattern of one neuron
+// of the concatenated head outputs before out_proj consumes them.
+func attnFaultHook(inj *Injection, site Site, promptLen int) (model.Hook, error) {
+	if site.Layer.Kind != model.KindAttnAct {
+		return nil, fmt.Errorf("faults: attn site %v must address attn_act", site)
+	}
+	target := promptLen + site.GenIter
+	return func(ref model.LayerRef, pos int, out []float32) {
+		if inj.Fired || ref != site.Layer || pos != target {
+			return
+		}
+		if site.Col < len(out) {
+			out[site.Col] = float32(numerics.FlipBits(numerics.FP32, float64(out[site.Col]), site.Bits...))
+			inj.Fired = true
+		}
+	}, nil
+}
+
 // Disarm restores the model to its fault-free configuration.
 func (inj *Injection) Disarm() {
 	if inj.restore != nil {
@@ -100,6 +171,10 @@ func (inj *Injection) Disarm() {
 		// list during a trial.
 		inj.m.ClearHooks()
 		inj.hooked = false
+	}
+	if inj.attnHooked {
+		inj.m.ClearAttnHooks()
+		inj.attnHooked = false
 	}
 }
 

@@ -1,0 +1,333 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/model"
+	"repro/internal/outcome"
+	"repro/internal/prng"
+)
+
+var surfacePrompt = []int{5, 9, 17, 4, 12, 7}
+
+// surfaceBaseline decodes the test model fault-free.
+func surfaceBaseline(m *model.Model) []int {
+	return gen.Generate(m, surfacePrompt, gen.Defaults(8)).Tokens
+}
+
+// decodeWithKV runs a serial decode calling sf.BeforeStep between steps,
+// the way the serving scheduler and campaign engine do.
+func decodeWithKV(m *model.Model, sf *StateFault, maxNew int) []int {
+	st := m.NewState()
+	logits := st.Prefill(surfacePrompt)
+	stepper := gen.NewStepper(gen.Defaults(maxNew))
+	tok, ok := stepper.Next(logits, st.Pos, m.Cfg.MaxSeq)
+	for ok {
+		if sf != nil {
+			sf.BeforeStep(st)
+		}
+		logits = st.DecodeStep(tok)
+		tok, ok = stepper.Next(logits, st.Pos, m.Cfg.MaxSeq)
+	}
+	return stepper.Result().Tokens
+}
+
+func TestParseSurfaceRoundTrip(t *testing.T) {
+	for _, s := range Surfaces {
+		got, err := ParseSurface(s.String())
+		if err != nil || got != s {
+			t.Fatalf("ParseSurface(%q) = %v, %v", s.String(), got, err)
+		}
+	}
+	if _, err := ParseSurface("flux-capacitor"); err == nil {
+		t.Fatal("want error for unknown surface")
+	}
+}
+
+func TestSurfaceWeightResident(t *testing.T) {
+	cases := []struct {
+		site Site
+		want bool
+	}{
+		{Site{Fault: Comp1Bit, Surface: SurfaceLinear}, false},
+		{Site{Fault: Mem2Bit, Surface: SurfaceLinear}, true},
+		{Site{Fault: Comp1Bit, Surface: SurfaceKV}, false},
+		{Site{Fault: Comp1Bit, Surface: SurfaceNorm}, true},
+		{Site{Fault: Comp1Bit, Surface: SurfaceEmbed}, true},
+		{Site{Fault: Comp1Bit, Surface: SurfaceAttn}, false},
+	}
+	for _, c := range cases {
+		if got := c.site.WeightResident(); got != c.want {
+			t.Errorf("WeightResident(%v/%v) = %v, want %v", c.site.Surface, c.site.Fault, got, c.want)
+		}
+	}
+}
+
+// TestSurfaceSamplersBounds draws many sites per surface and checks every
+// coordinate stays inside its storage.
+func TestSurfaceSamplersBounds(t *testing.T) {
+	m := testModel(t, 0)
+	sp, err := NewSampler(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const maxGen, promptLen = 10, 6
+	for _, surf := range Surfaces {
+		src := prng.New(77)
+		for i := 0; i < 500; i++ {
+			site, err := SampleSurface(src, sp, m, surf, Comp1Bit, maxGen, promptLen)
+			if err != nil {
+				t.Fatalf("%v: %v", surf, err)
+			}
+			if site.Surface != surf {
+				t.Fatalf("%v: sampled surface %v", surf, site.Surface)
+			}
+			for _, b := range site.Bits {
+				if b < 0 || b >= 32 {
+					t.Fatalf("%v: bit %d out of fp32 range", surf, b)
+				}
+			}
+			switch surf {
+			case SurfaceKV:
+				if site.Layer.Kind != model.KindK && site.Layer.Kind != model.KindV {
+					t.Fatalf("kv kind %v", site.Layer.Kind)
+				}
+				if site.GenIter < 0 || site.GenIter >= maxGen ||
+					site.Row < 0 || site.Row >= promptLen+site.GenIter+1 ||
+					site.Col < 0 || site.Col >= m.Cfg.DModel ||
+					site.Layer.Block < 0 || site.Layer.Block >= m.Cfg.NBlocks {
+					t.Fatalf("kv site out of bounds: %+v", site)
+				}
+			case SurfaceNorm:
+				switch site.Layer.Kind {
+				case model.KindFinalNorm:
+					if site.Layer.Block != -1 {
+						t.Fatalf("final norm block %d", site.Layer.Block)
+					}
+				case model.KindAttnNorm, model.KindMLPNorm:
+					if site.Layer.Block < 0 || site.Layer.Block >= m.Cfg.NBlocks {
+						t.Fatalf("norm block %d", site.Layer.Block)
+					}
+				default:
+					t.Fatalf("norm kind %v", site.Layer.Kind)
+				}
+				if site.Col < 0 || site.Col >= m.Cfg.DModel {
+					t.Fatalf("norm col %d", site.Col)
+				}
+			case SurfaceEmbed:
+				if site.Row < 0 || site.Row >= m.Cfg.Vocab || site.Col < 0 || site.Col >= m.Cfg.DModel {
+					t.Fatalf("embed site out of bounds: %+v", site)
+				}
+			case SurfaceAttn:
+				if site.Layer.Kind != model.KindAttnAct ||
+					site.Layer.Block < 0 || site.Layer.Block >= m.Cfg.NBlocks ||
+					site.Col < 0 || site.Col >= m.Cfg.DModel ||
+					site.GenIter < 0 || site.GenIter >= maxGen {
+					t.Fatalf("attn site out of bounds: %+v", site)
+				}
+			}
+		}
+	}
+}
+
+// TestSurfaceSamplingDeterminism pins that a site is a pure function of
+// the seed — the property per-request fault determinism in the serving
+// engine rests on.
+func TestSurfaceSamplingDeterminism(t *testing.T) {
+	m := testModel(t, 0)
+	sp, err := NewSampler(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, surf := range Surfaces {
+		a, err1 := SampleSurface(prng.New(123).Split(9), sp, m, surf, Comp2Bit, 8, 6)
+		b, err2 := SampleSurface(prng.New(123).Split(9), sp, m, surf, Comp2Bit, 8, 6)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%v: same seed, different sites:\n%+v\n%+v", surf, a, b)
+		}
+	}
+}
+
+// TestSurfaceArmDisarmBitIdentity proves the weight-resident surfaces
+// restore the model exactly: after Arm+Disarm, generation is
+// bit-identical to never having armed.
+func TestSurfaceArmDisarmBitIdentity(t *testing.T) {
+	m := testModel(t, 0)
+	clean := surfaceBaseline(m)
+	sites := []Site{
+		{Fault: Comp1Bit, Surface: SurfaceNorm,
+			Layer: model.LayerRef{Block: 1, Kind: model.KindAttnNorm, Expert: -1}, Col: 3, Bits: []int{30}},
+		{Fault: Comp1Bit, Surface: SurfaceNorm,
+			Layer: model.LayerRef{Block: -1, Kind: model.KindFinalNorm, Expert: -1}, Col: 7, Bits: []int{30}},
+		{Fault: Comp1Bit, Surface: SurfaceEmbed,
+			Layer: model.LayerRef{Block: -1, Kind: model.KindEmbed, Expert: -1}, Row: 9, Col: 2, Bits: []int{30}},
+		{Fault: Comp1Bit, Surface: SurfaceAttn,
+			Layer: model.LayerRef{Block: 0, Kind: model.KindAttnAct, Expert: -1}, Col: 5, GenIter: 1, Bits: []int{30}},
+	}
+	for _, site := range sites {
+		inj, err := Arm(m, site, len(surfacePrompt))
+		if err != nil {
+			t.Fatalf("%v: %v", site, err)
+		}
+		inj.Disarm()
+		if got := surfaceBaseline(m); !reflect.DeepEqual(got, clean) {
+			t.Fatalf("%v: arm+disarm perturbed generation: %v vs %v", site, got, clean)
+		}
+	}
+	// A KV fault whose BeforeStep never runs leaves the inference
+	// untouched — disarmed-by-construction.
+	sf, err := ArmKV(Site{Fault: Comp1Bit, Surface: SurfaceKV,
+		Layer: model.LayerRef{Block: 1, Kind: model.KindK, Expert: -1}, Row: 2, Col: 3, GenIter: 1, Bits: []int{30}},
+		len(surfacePrompt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = sf
+	if got := surfaceBaseline(m); !reflect.DeepEqual(got, clean) {
+		t.Fatalf("ArmKV without BeforeStep perturbed generation")
+	}
+	if got := decodeWithKV(m, nil, 8); !reflect.DeepEqual(got, clean) {
+		t.Fatalf("manual decode loop disagrees with gen.Generate: %v vs %v", got, clean)
+	}
+}
+
+// TestSurfaceArmValidation pins the arming dispatch rules.
+func TestSurfaceArmValidation(t *testing.T) {
+	m := testModel(t, 0)
+	kv := Site{Fault: Comp1Bit, Surface: SurfaceKV,
+		Layer: model.LayerRef{Block: 0, Kind: model.KindK, Expert: -1}, Row: 1, Col: 1, Bits: []int{3}}
+	if _, err := Arm(m, kv, 4); err == nil {
+		t.Fatal("Arm must reject kv sites")
+	}
+	if _, _, err := ArmHook(m, kv, 4); err == nil {
+		t.Fatal("ArmHook must reject kv sites")
+	}
+	norm := Site{Fault: Comp1Bit, Surface: SurfaceNorm,
+		Layer: model.LayerRef{Block: 0, Kind: model.KindAttnNorm, Expert: -1}, Col: 1, Bits: []int{3}}
+	if _, _, err := ArmHook(m, norm, 4); err == nil {
+		t.Fatal("ArmHook must reject weight-resident sites")
+	}
+	if _, err := ArmKV(norm, 4); err == nil {
+		t.Fatal("ArmKV must reject non-kv sites")
+	}
+	bad := kv
+	bad.Layer.Kind = model.KindQ
+	if _, err := ArmKV(bad, 4); err == nil {
+		t.Fatal("ArmKV must reject non-cache kinds")
+	}
+}
+
+// TestStateFaultFiresOnce pins the KV strike semantics: the flip lands
+// exactly at the strike iteration, once.
+func TestStateFaultFiresOnce(t *testing.T) {
+	m := testModel(t, 0)
+	site := Site{Fault: Comp1Bit, Surface: SurfaceKV,
+		Layer: model.LayerRef{Block: 1, Kind: model.KindV, Expert: -1}, Row: 2, Col: 3, GenIter: 2, Bits: []int{30}}
+	sf, err := ArmKV(site, len(surfacePrompt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := m.NewState()
+	st.Prefill(surfacePrompt)
+	sf.BeforeStep(st) // Pos == promptLen < target: must not fire
+	if sf.Fired {
+		t.Fatal("fired before strike iteration")
+	}
+	st.DecodeStep(4)
+	st.DecodeStep(4)
+	before := st.V[1].At(2, 3)
+	sf.BeforeStep(st)
+	if !sf.Fired {
+		t.Fatal("did not fire at strike iteration")
+	}
+	if st.V[1].At(2, 3) == before {
+		t.Fatal("strike did not change the cache element")
+	}
+	after := st.V[1].At(2, 3)
+	sf.BeforeStep(st)
+	if st.V[1].At(2, 3) != after {
+		t.Fatal("second BeforeStep must be a no-op")
+	}
+}
+
+// TestSurfaceOutcomeGoldens pins the outcome classification for one
+// exponent-bit and one low-mantissa-bit flip per surface, against the
+// deterministic test model. High-exponent strikes blow up the struck
+// value and corrupt generation; mantissa-LSB strikes sit below the
+// numeric noise floor and stay Masked.
+func TestSurfaceOutcomeGoldens(t *testing.T) {
+	m := testModel(t, 0)
+	baseline := surfaceBaseline(m)
+
+	kvSite := func(bits ...int) Site {
+		return Site{Fault: Comp1Bit, Surface: SurfaceKV,
+			Layer: model.LayerRef{Block: 1, Kind: model.KindK, Expert: -1}, Row: 2, Col: 3, GenIter: 1, Bits: bits}
+	}
+	normSite := func(bits ...int) Site {
+		return Site{Fault: Comp1Bit, Surface: SurfaceNorm,
+			Layer: model.LayerRef{Block: 1, Kind: model.KindAttnNorm, Expert: -1}, Col: 3, Bits: bits}
+	}
+	embedSite := func(bits ...int) Site {
+		// Row 5 is the first prompt token, so the corrupted row is embedded.
+		return Site{Fault: Comp1Bit, Surface: SurfaceEmbed,
+			Layer: model.LayerRef{Block: -1, Kind: model.KindEmbed, Expert: -1}, Row: 5, Col: 2, Bits: bits}
+	}
+	attnSite := func(bits ...int) Site {
+		return Site{Fault: Comp1Bit, Surface: SurfaceAttn,
+			Layer: model.LayerRef{Block: 0, Kind: model.KindAttnAct, Expert: -1}, Col: 5, GenIter: 0, Bits: bits}
+	}
+
+	cases := []struct {
+		name string
+		site Site
+		want string
+	}{
+		{"kv/exp30", kvSite(30), "SDC-subtle"},
+		{"kv/mant0", kvSite(0), "Masked"},
+		{"norm/exp30", normSite(30), "SDC-subtle"},
+		{"norm/mant0", normSite(0), "Masked"},
+		{"embed/exp30", embedSite(30), "SDC-subtle"},
+		{"embed/mant0", embedSite(0), "Masked"},
+		{"attn/exp30", attnSite(30), "SDC-subtle"},
+		{"attn/mant0", attnSite(0), "Masked"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var tokens []int
+			var fired bool
+			if c.site.Surface == SurfaceKV {
+				sf, err := ArmKV(c.site, len(surfacePrompt))
+				if err != nil {
+					t.Fatal(err)
+				}
+				tokens = decodeWithKV(m, sf, 8)
+				fired = sf.Fired
+			} else {
+				inj, err := Arm(m, c.site, len(surfacePrompt))
+				if err != nil {
+					t.Fatal(err)
+				}
+				tokens = gen.Generate(m, surfacePrompt, gen.Defaults(8)).Tokens
+				fired = inj.Fired
+				inj.Disarm()
+			}
+			if !fired {
+				t.Fatalf("fault did not fire")
+			}
+			matches := reflect.DeepEqual(tokens, baseline)
+			an := outcome.Classify(tokens, baseline, matches, outcome.Thresholds{})
+			if got := an.Class.String(); got != c.want {
+				t.Errorf("outcome = %s, want %s (tokens %v vs baseline %v)", got, c.want, tokens, baseline)
+			}
+			// Each trial must leave the model clean for the next.
+			if got := surfaceBaseline(m); !reflect.DeepEqual(got, baseline) {
+				t.Fatalf("model not restored after trial: %v vs %v", got, baseline)
+			}
+		})
+	}
+}

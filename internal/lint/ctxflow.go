@@ -12,13 +12,17 @@ import (
 // body loops (trial loops, token loops, event pumps) at least one loop
 // must consult the context (ctx.Err / ctx.Done / passing ctx onward), so
 // a cancelled campaign stops within one iteration instead of running to
-// completion.
+// completion. The serving engine and its load generator (PR 8) live
+// under the same contract: SIGINT-driven graceful drain is ctx
+// cancellation reaching the scheduler loop.
 var AnalyzerCtxFlow = &Analyzer{
 	Name: "ctxflow",
 	Doc:  "exported Run-like functions take ctx first and check it inside loops",
 	Scope: []string{
 		"internal/core",
 		"internal/experiments",
+		"internal/serve",
+		"internal/serve/loadgen",
 	},
 	Run: runCtxFlow,
 }

@@ -25,6 +25,11 @@ type DecodeRow struct {
 	// Checker, when non-nil, verifies this row's linear outputs — the
 	// per-row analogue of Model.SetChecker.
 	Checker LinearChecker
+	// AttnHooks fire on this row's post-attention activation (kind
+	// KindAttnAct) each block, after the head mix and before out_proj —
+	// the per-row analogue of Model.AddAttnHook. Empty slices cost
+	// nothing: the batched step is bit-identical with no hooks present.
+	AttnHooks []Hook
 	// Logits receives the row's next-token logits (len Vocab). The row
 	// owns the buffer; it is overwritten each step.
 	Logits []float32
@@ -189,6 +194,12 @@ func (b *Batch) Step(rows []*DecodeRow) {
 		}
 		for i, row := range rows {
 			m.attendAt(row.St, bi, row.St.Pos, b.q.Row(i), b.a.Row(i))
+			if len(row.AttnHooks) > 0 {
+				ref := LayerRef{bi, KindAttnAct, -1}
+				for _, h := range row.AttnHooks {
+					h(ref, row.St.Pos, b.a.Row(i))
+				}
+			}
 		}
 
 		forwardNRows(blk.Wo, b.h, b.a, n, threads)

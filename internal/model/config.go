@@ -101,6 +101,25 @@ const (
 	// campaigns exclude it; it is addressable for completeness.
 	KindLMHead
 
+	// The remaining kinds address non-linear fault surfaces
+	// (GoldenTransformer's modular injection targets): they are not
+	// weights in the Weight-interface sense and never appear in
+	// LinearLayers, but LayerRef can name them so fault sites, hooks,
+	// and reports share one address space.
+
+	// KindAttnNorm is the RMSNorm gain vector before attention.
+	KindAttnNorm
+	// KindMLPNorm is the RMSNorm gain vector before the MLP / MoE.
+	KindMLPNorm
+	// KindFinalNorm is the pre-LM-head RMSNorm gain (Block = -1).
+	KindFinalNorm
+	// KindEmbed is the token embedding table (Block = -1).
+	KindEmbed
+	// KindAttnAct addresses the transient post-attention activation row
+	// (the concatenated head outputs before the out_proj GEMM) — an
+	// activation surface, observable through attention hooks only.
+	KindAttnAct
+
 	numLayerKinds
 )
 
@@ -125,6 +144,16 @@ func (k LayerKind) String() string {
 		return "router_gate"
 	case KindLMHead:
 		return "lm_head"
+	case KindAttnNorm:
+		return "attn_norm"
+	case KindMLPNorm:
+		return "mlp_norm"
+	case KindFinalNorm:
+		return "final_norm"
+	case KindEmbed:
+		return "embed_tokens"
+	case KindAttnAct:
+		return "attn_act"
 	default:
 		return fmt.Sprintf("LayerKind(%d)", int(k))
 	}

@@ -160,6 +160,9 @@ func (st *State) DecodeStep(tok int) []float32 {
 		copy(st.V[bi].Row(pos), st.v)
 
 		m.attendAt(st, bi, pos, st.q, st.attnOut)
+		if len(m.attnHooks) > 0 {
+			m.runAttnHooks(LayerRef{bi, KindAttnAct, -1}, pos, st.attnOut)
+		}
 
 		blk.Wo.Forward(st.h, st.attnOut)
 		m.finishLinear(LayerRef{bi, KindOut, -1}, pos, blk.Wo, st.attnOut, st.h)

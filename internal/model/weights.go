@@ -120,6 +120,11 @@ type Model struct {
 
 	hooks []Hook
 
+	// attnHooks observe the post-attention activation row per block per
+	// step (see AddAttnHook) — the injection point for transient
+	// attention-path faults.
+	attnHooks []Hook
+
 	// threads bounds the goroutines batched prefill may use for its
 	// matmuls (0 = GOMAXPROCS). Campaigns set it per worker clone so the
 	// worker pool cannot oversubscribe the machine.
@@ -180,6 +185,26 @@ func (m *Model) AddHook(h Hook) { m.hooks = append(m.hooks, h) }
 func (m *Model) PopHook() {
 	if n := len(m.hooks); n > 0 {
 		m.hooks = m.hooks[:n-1]
+	}
+}
+
+// AddAttnHook registers h on the attention-activation surface: it fires
+// once per block per decode step on the post-attention row (ref kind
+// KindAttnAct), after the head outputs are mixed and before the out_proj
+// GEMM consumes them. This is a separate slot from the linear-layer
+// hooks so activation-surface injection never perturbs what the linear
+// hooks (probes, ABFT baselines) observe; with no attention hooks
+// registered the decode path is bit-identical by construction — nothing
+// runs.
+func (m *Model) AddAttnHook(h Hook) { m.attnHooks = append(m.attnHooks, h) }
+
+// ClearAttnHooks removes all attention-activation hooks.
+func (m *Model) ClearAttnHooks() { m.attnHooks = nil }
+
+// runAttnHooks fires the attention-surface hooks on one activation row.
+func (m *Model) runAttnHooks(ref LayerRef, pos int, out []float32) {
+	for _, h := range m.attnHooks {
+		h(ref, pos, out)
 	}
 }
 
@@ -370,6 +395,63 @@ func (m *Model) LayerForWrite(ref LayerRef) (Weight, error) {
 		m.privatized[ref] = true
 	}
 	return *slot, nil
+}
+
+// NormForWrite returns the RMSNorm gain vector addressed by ref —
+// KindAttnNorm or KindMLPNorm with a block index, or KindFinalNorm with
+// Block = -1 — for in-place mutation. On a CloneShared model the vector
+// is first privatized, exactly like LayerForWrite: norm gains are shared
+// by reference across clones, so a flip through the shared slice would
+// corrupt every sibling's inference. Repeated writes reuse the private
+// copy.
+func (m *Model) NormForWrite(ref LayerRef) ([]float32, error) {
+	slot, err := m.normSlot(ref)
+	if err != nil {
+		return nil, err
+	}
+	if m.sharedWeights && !m.privatized[ref] {
+		*slot = append([]float32(nil), *slot...)
+		if m.privatized == nil {
+			m.privatized = map[LayerRef]bool{}
+		}
+		m.privatized[ref] = true
+	}
+	return *slot, nil
+}
+
+// normSlot returns a pointer to the gain-vector field addressed by ref.
+func (m *Model) normSlot(ref LayerRef) (*[]float32, error) {
+	if ref.Kind == KindFinalNorm {
+		return &m.FinalNorm, nil
+	}
+	if ref.Block < 0 || ref.Block >= len(m.Blocks) {
+		return nil, fmt.Errorf("model: block %d out of range", ref.Block)
+	}
+	switch ref.Kind {
+	case KindAttnNorm:
+		return &m.Blocks[ref.Block].AttnNorm, nil
+	case KindMLPNorm:
+		return &m.Blocks[ref.Block].MLPNorm, nil
+	}
+	return nil, fmt.Errorf("model: %v is not a norm gain", ref)
+}
+
+// embedRef is the privatization key for the shared embedding table.
+var embedRef = LayerRef{-1, KindEmbed, -1}
+
+// EmbedForWrite returns the token embedding table for in-place mutation,
+// privatizing it on a CloneShared model first (the table is O(Vocab ×
+// DModel) — by far the largest privatization — but only embedding-fault
+// trials pay it).
+func (m *Model) EmbedForWrite() *tensor.Tensor {
+	if m.sharedWeights && !m.privatized[embedRef] {
+		m.Embed = m.Embed.Clone()
+		if m.privatized == nil {
+			m.privatized = map[LayerRef]bool{}
+		}
+		m.privatized[embedRef] = true
+	}
+	return m.Embed
 }
 
 // layerSlot returns a pointer to the Weight field addressed by ref.

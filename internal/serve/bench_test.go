@@ -1,0 +1,134 @@
+package serve_test
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/mitigate"
+	"repro/internal/serve"
+	"repro/internal/serve/loadgen"
+)
+
+// TestEmitServeBenchJSON measures serving-under-faults end to end:
+// 8 concurrent request streams over the batched engine, injection over
+// all five surfaces, with ABFT off / site-scoped / all-layers — per-arm
+// p50/p99 latency, SLO-violation rate (SLO = 2x the clean pass's p99),
+// outcome tally, and detection counts — written to BENCH_6.json. Gated
+// behind BENCH6_JSON_OUT so it only runs from `make bench`.
+func TestEmitServeBenchJSON(t *testing.T) {
+	out := os.Getenv("BENCH6_JSON_OUT")
+	if out == "" {
+		t.Skip("set BENCH6_JSON_OUT to emit the serving benchmark JSON")
+	}
+
+	m, vocab := testServeModel(t)
+	prompts := testPrompts()
+	const (
+		streams  = 8
+		requests = 96
+		maxNew   = 12
+	)
+	baselines := baselinesFor(m, prompts, maxNew)
+
+	type arm struct {
+		P50MS        float64        `json:"p50_ms"`
+		P99MS        float64        `json:"p99_ms"`
+		SLOViolation float64        `json:"slo_violation_rate"`
+		OK           int            `json:"ok"`
+		Fired        int            `json:"fired"`
+		Detected     int64          `json:"detected"`
+		Outcomes     map[string]int `json:"outcomes,omitempty"`
+	}
+
+	run := func(inject *serve.InjectConfig, slo time.Duration) arm {
+		e, err := serve.NewEngine(serve.Config{
+			Model: m, Vocab: vocab, Width: streams, SLO: slo, Inject: inject,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		runCtx, cancel := context.WithCancel(context.Background())
+		runDone := make(chan error, 1)
+		go func() { runDone <- e.Run(runCtx) }()
+		st, err := loadgen.Run(context.Background(), e, loadgen.Config{
+			Streams: streams, Requests: requests, Prompts: prompts,
+			Baselines: baselines, MaxNew: maxNew, Seed: 6000, SLO: slo,
+		})
+		cancel()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := <-runDone; err != nil {
+			t.Fatal(err)
+		}
+		return arm{
+			P50MS:        float64(st.P50) / float64(time.Millisecond),
+			P99MS:        float64(st.P99) / float64(time.Millisecond),
+			SLOViolation: float64(st.SLOViolations) / float64(requests),
+			OK:           st.OK,
+			Fired:        st.Fired,
+			Detected:     e.Metrics().Snapshot().Detected,
+			Outcomes:     st.Outcomes,
+		}
+	}
+
+	inject := func(abft *serve.ABFTConfig) *serve.InjectConfig {
+		return &serve.InjectConfig{
+			Fault:    faults.Comp1Bit,
+			Surfaces: faults.Surfaces,
+			Seed:     8181,
+			ABFT:     abft,
+		}
+	}
+
+	run(nil, 0) // warmup
+	clean := run(nil, 0)
+	cleanP99 := time.Duration(clean.P99MS * float64(time.Millisecond))
+	slo := 2 * cleanP99
+
+	report := struct {
+		Workload string  `json:"workload"`
+		Streams  int     `json:"streams"`
+		Requests int     `json:"requests"`
+		SLOMS    float64 `json:"slo_ms"`
+		Clean    arm     `json:"clean"`
+		ABFTOff  arm     `json:"abft_off"`
+		ABFTSite arm     `json:"abft_site"`
+		ABFTAll  arm     `json:"abft_all"`
+	}{
+		Workload: "serving under faults: all five surfaces, comp-1bit, batched width 8",
+		Streams:  streams,
+		Requests: requests,
+		SLOMS:    float64(slo) / float64(time.Millisecond),
+		Clean:    run(nil, slo),
+		ABFTOff:  run(inject(nil), slo),
+		ABFTSite: run(inject(&serve.ABFTConfig{Policy: mitigate.PolicyDetect}), slo),
+		ABFTAll:  run(inject(&serve.ABFTConfig{Policy: mitigate.PolicyDetect, AllLayers: true}), slo),
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("clean p50=%.2fms p99=%.2fms; off p99=%.2fms viol=%.2f; site p99=%.2fms det=%d; all p99=%.2fms det=%d",
+		report.Clean.P50MS, report.Clean.P99MS,
+		report.ABFTOff.P99MS, report.ABFTOff.SLOViolation,
+		report.ABFTSite.P99MS, report.ABFTSite.Detected,
+		report.ABFTAll.P99MS, report.ABFTAll.Detected)
+
+	for name, a := range map[string]arm{"clean": report.Clean, "off": report.ABFTOff, "site": report.ABFTSite, "all": report.ABFTAll} {
+		if a.OK != requests {
+			t.Errorf("%s arm: %d of %d requests ok", name, a.OK, requests)
+		}
+	}
+	if report.ABFTAll.Detected < report.ABFTSite.Detected {
+		t.Errorf("all-layers detection (%d) below site-scoped (%d)", report.ABFTAll.Detected, report.ABFTSite.Detected)
+	}
+}

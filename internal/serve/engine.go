@@ -1,0 +1,652 @@
+// Package serve is the live inference service: an engine that admits
+// concurrent generate requests onto the continuous-batching decode core
+// (model.Batch), with per-request deadlines and cancellation, graceful
+// drain, per-request serving metrics, and an optional fault-campaign
+// mode that injects into live traffic.
+//
+// The serving path preserves the offline trial contract. Every number a
+// request's decode produces is bit-identical to the same request running
+// alone through the serial generator: the batched GEMMs keep per-row
+// accumulation order, injection hooks and ABFT checkers are row-scoped,
+// and fault sites are a pure function of the request's seed — never of
+// admission order or batch composition. Weight-resident faults (norm,
+// embedding, linear memory) cannot be row-scoped, so those requests run
+// serially on a private copy-on-write clone, exactly as offline
+// campaigns serialize memory-fault trials per model instance.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/abft"
+	"repro/internal/faults"
+	"repro/internal/gen"
+	"repro/internal/mitigate"
+	"repro/internal/model"
+	"repro/internal/outcome"
+	"repro/internal/prng"
+	"repro/internal/token"
+)
+
+// ErrDraining rejects a request that arrived after shutdown began.
+var ErrDraining = errors.New("serve: engine draining")
+
+// ErrInvalid wraps request-validation failures (the HTTP layer maps it
+// to a 400 envelope).
+var ErrInvalid = errors.New("serve: invalid request")
+
+// ABFTConfig arms checksum detection on served requests.
+type ABFTConfig struct {
+	// Tol overrides the derived per-layer tolerance (0 = DefaultTol).
+	Tol float64
+	// Policy selects the detection response (detect/correct/skip).
+	Policy mitigate.Policy
+	// AllLayers protects every block linear; false protects only the
+	// request's own injection site, and only when that site is a linear
+	// layer — the non-linear surfaces have no checksum to violate,
+	// which is exactly the coverage boundary fig_serving measures.
+	AllLayers bool
+}
+
+// InjectConfig turns the engine into a live fault campaign: each
+// admitted request receives one fault whose site is a pure function of
+// (Seed, request seed), sampled uniformly over the configured surfaces.
+type InjectConfig struct {
+	// Fault is the fault model (bit multiplicity / residence).
+	Fault faults.Model
+	// Surfaces to sample uniformly; empty defaults to SurfaceLinear.
+	Surfaces []faults.Surface
+	// Seed is the campaign-level base seed.
+	Seed uint64
+	// ABFT, when non-nil, arms a checker per request.
+	ABFT *ABFTConfig
+}
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Model serves all requests; its weights are treated as read-only
+	// (weight-resident faults clone copy-on-write before flipping).
+	Model *model.Model
+	// Vocab, when non-nil, fills Response.Text and enables the HTTP
+	// prompt codec.
+	Vocab *token.Vocab
+	// Width is the decode-batch capacity (default 8).
+	Width int
+	// Queue bounds admission backlog before Submit blocks (default 2×Width).
+	Queue int
+	// DefaultMaxNew is max_tokens for requests that omit it (default 32).
+	DefaultMaxNew int
+	// MaxNewCap bounds per-request max_tokens (default MaxSeq).
+	MaxNewCap int
+	// SLO is the latency objective; finished requests slower than it
+	// count as violations. 0 disables SLO accounting.
+	SLO time.Duration
+	// Inject, when non-nil, enables the live fault campaign.
+	Inject *InjectConfig
+}
+
+// Request is one generate call.
+type Request struct {
+	// ID labels the request in responses and logs.
+	ID string
+	// Prompt is the tokenized prompt (non-empty).
+	Prompt []int
+	// MaxNew bounds generated tokens; 0 takes the engine default.
+	MaxNew int
+	// Deadline, when positive, bounds the request's wall time.
+	Deadline time.Duration
+	// Seed drives campaign-mode fault sampling for this request; the
+	// sampled site depends only on (engine seed, Seed).
+	Seed uint64
+	// Baseline, when non-nil, is the fault-free output of this request;
+	// campaign mode classifies the served output against it.
+	Baseline []int
+}
+
+// Response is the outcome of one request. Err is nil on success;
+// typed errors (ErrDraining, ErrInvalid, context errors) report
+// rejection, deadline expiry, or cancellation. Tokens carries whatever
+// was generated before the request ended either way.
+type Response struct {
+	ID      string
+	Tokens  []int
+	Text    string
+	Steps   int
+	Latency time.Duration
+	// Injected / Fired / Site / Surface describe the campaign fault.
+	Injected bool
+	Fired    bool
+	Site     string
+	Surface  string
+	// Outcome is the classification against Request.Baseline ("" when
+	// no baseline or no injection).
+	Outcome string
+	// Detected counts flagged ABFT checks.
+	Detected int
+	Err      error
+}
+
+// pending is a prefilled request waiting for a batch slot.
+type pending struct {
+	req    Request
+	ctx    context.Context
+	start  time.Time
+	st     *model.State
+	prefix []float32
+	site   *faults.Site
+	resp   chan Response
+}
+
+// flight is one admitted request occupying a batch row.
+type flight struct {
+	p       *pending
+	row     *model.DecodeRow
+	stepper *gen.Stepper
+	inj     *faults.Injection
+	sf      *faults.StateFault
+	checker *abft.Checker
+}
+
+// Engine is the serving core. Create with NewEngine, start the
+// scheduler with Run (usually in its own goroutine), send traffic with
+// Submit, and stop by cancelling Run's context: in-flight requests
+// finish, queued and later ones get ErrDraining, then Run returns.
+type Engine struct {
+	cfg     Config
+	m       *model.Model
+	met     *Metrics
+	sampler *faults.Sampler
+	// cache holds clean-weight ABFT checksums. It is not safe for
+	// concurrent use; only the scheduler goroutine touches it (the
+	// serial fault path builds private caches).
+	cache *abft.Cache
+	queue chan *pending
+	done  chan struct{}
+
+	mu       sync.Mutex
+	draining bool
+	serial   sync.WaitGroup
+}
+
+// NewEngine validates cfg and builds an engine. Run must be started
+// before Submit calls can complete.
+func NewEngine(cfg Config) (*Engine, error) {
+	if cfg.Model == nil {
+		return nil, errors.New("serve: Config.Model is required")
+	}
+	if cfg.Width <= 0 {
+		cfg.Width = 8
+	}
+	if cfg.Queue <= 0 {
+		cfg.Queue = 2 * cfg.Width
+	}
+	if cfg.DefaultMaxNew <= 0 {
+		cfg.DefaultMaxNew = 32
+	}
+	if cfg.MaxNewCap <= 0 {
+		cfg.MaxNewCap = cfg.Model.Cfg.MaxSeq
+	}
+	if cfg.DefaultMaxNew > cfg.MaxNewCap {
+		cfg.DefaultMaxNew = cfg.MaxNewCap
+	}
+	e := &Engine{
+		cfg:   cfg,
+		m:     cfg.Model,
+		met:   NewMetrics(),
+		queue: make(chan *pending, cfg.Queue),
+		done:  make(chan struct{}),
+	}
+	if inj := cfg.Inject; inj != nil {
+		if len(inj.Surfaces) == 0 {
+			inj.Surfaces = []faults.Surface{faults.SurfaceLinear}
+		}
+		for _, s := range inj.Surfaces {
+			if s == faults.SurfaceLinear {
+				sp, err := faults.NewSampler(cfg.Model, nil)
+				if err != nil {
+					return nil, err
+				}
+				e.sampler = sp
+			}
+		}
+		if inj.ABFT != nil {
+			e.cache = abft.NewCache()
+		}
+	}
+	return e, nil
+}
+
+// Metrics exposes the engine's serving counters.
+func (e *Engine) Metrics() *Metrics { return e.met }
+
+// genSettings builds the per-request greedy-decode settings.
+func (e *Engine) genSettings(maxNew int) gen.Settings {
+	return gen.Defaults(maxNew)
+}
+
+// validate normalizes req in place.
+func (e *Engine) validate(req *Request) error {
+	if len(req.Prompt) == 0 {
+		return fmt.Errorf("%w: empty prompt", ErrInvalid)
+	}
+	if req.MaxNew == 0 {
+		req.MaxNew = e.cfg.DefaultMaxNew
+	}
+	if req.MaxNew < 0 || req.MaxNew > e.cfg.MaxNewCap {
+		return fmt.Errorf("%w: max_tokens %d outside (0, %d]", ErrInvalid, req.MaxNew, e.cfg.MaxNewCap)
+	}
+	if len(req.Prompt)+req.MaxNew > e.m.Cfg.MaxSeq {
+		return fmt.Errorf("%w: prompt %d + max_tokens %d exceeds context %d",
+			ErrInvalid, len(req.Prompt), req.MaxNew, e.m.Cfg.MaxSeq)
+	}
+	return nil
+}
+
+// sampleSite draws the request's fault site — a pure function of the
+// engine's campaign seed and the request's own seed, independent of
+// admission order, batch composition, and sibling requests.
+func (e *Engine) sampleSite(req *Request) (faults.Site, error) {
+	inj := e.cfg.Inject
+	src := prng.New(inj.Seed).Split(req.Seed)
+	surf := inj.Surfaces[src.Intn(len(inj.Surfaces))]
+	return faults.SampleSurface(src, e.sampler, e.m, surf, inj.Fault, req.MaxNew, len(req.Prompt))
+}
+
+// Submit runs one request to completion and returns its Response. It
+// blocks for the request's full latency; callers wanting concurrency
+// use one goroutine per stream (see loadgen). Respect ctx: cancelling
+// it abandons the request at the next decode step.
+func (e *Engine) Submit(ctx context.Context, req Request) Response {
+	start := time.Now()
+	if err := e.validate(&req); err != nil {
+		e.met.observeRejected(statusInvalid)
+		return Response{ID: req.ID, Err: err}
+	}
+	e.met.requestStarted()
+	defer e.met.requestDone()
+
+	if req.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, req.Deadline)
+		defer cancel()
+	}
+
+	var site *faults.Site
+	if e.cfg.Inject != nil {
+		s, err := e.sampleSite(&req)
+		if err != nil {
+			e.met.observeRejected(statusInvalid)
+			return Response{ID: req.ID, Err: fmt.Errorf("%w: %v", ErrInvalid, err)}
+		}
+		site = &s
+	}
+
+	if site != nil && site.WeightResident() {
+		// Weight-resident faults flip shared parameter storage; they
+		// cannot ride a shared batch. Run serially on a private
+		// copy-on-write clone in this goroutine.
+		if !e.trackSerial() {
+			e.met.observeRejected(statusDraining)
+			return Response{ID: req.ID, Err: ErrDraining}
+		}
+		defer e.serial.Done()
+		return e.runSerial(ctx, req, *site, start)
+	}
+
+	// Prefill here, concurrently with other submitters: the state is
+	// private and the shared weights are read-only on this path.
+	st := e.m.NewState()
+	logits := st.Prefill(req.Prompt)
+	p := &pending{
+		req:    req,
+		ctx:    ctx,
+		start:  start,
+		st:     st,
+		prefix: append([]float32(nil), logits...),
+		site:   site,
+		resp:   make(chan Response, 1),
+	}
+	select {
+	case e.queue <- p:
+	case <-ctx.Done():
+		return e.finishErr(req.ID, start, ctx.Err())
+	case <-e.done:
+		e.met.observeRejected(statusDraining)
+		return Response{ID: req.ID, Err: ErrDraining}
+	}
+	select {
+	case r := <-p.resp:
+		return r
+	case <-e.done:
+		// Prefer a response that raced the drain.
+		select {
+		case r := <-p.resp:
+			return r
+		default:
+			e.met.observeRejected(statusDraining)
+			return Response{ID: req.ID, Err: ErrDraining}
+		}
+	}
+}
+
+// trackSerial registers a serial-path request with the drain barrier.
+func (e *Engine) trackSerial() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.draining {
+		return false
+	}
+	e.serial.Add(1)
+	return true
+}
+
+// Run is the scheduler: it owns the decode batch, admits pending
+// requests into free rows, steps the batch, and retires finished rows.
+// It returns after ctx is cancelled AND every in-flight request (batched
+// and serial) has finished — the graceful-drain contract behind the
+// SIGINT handling in cmd/llmfi.
+func (e *Engine) Run(ctx context.Context) error {
+	bt := e.m.NewBatch(e.cfg.Width)
+	live := make([]*flight, 0, e.cfg.Width)
+	rows := make([]*model.DecodeRow, 0, e.cfg.Width)
+	running := true
+
+	for {
+		if running && ctx.Err() != nil {
+			running = false
+			e.mu.Lock()
+			e.draining = true
+			e.mu.Unlock()
+			e.failQueued()
+		}
+		if len(live) == 0 {
+			if !running {
+				break
+			}
+			select {
+			case p := <-e.queue:
+				if f := e.admit(p); f != nil {
+					live = append(live, f)
+				}
+			case <-ctx.Done():
+			}
+			continue
+		}
+		if running {
+		topUp:
+			for len(live) < e.cfg.Width {
+				select {
+				case p := <-e.queue:
+					if f := e.admit(p); f != nil {
+						live = append(live, f)
+					}
+				default:
+					break topUp
+				}
+			}
+		}
+
+		// Sweep cancelled/expired requests before spending a step on them.
+		keep := live[:0]
+		for _, f := range live {
+			if err := f.p.ctx.Err(); err != nil {
+				e.retire(f, err)
+				continue
+			}
+			keep = append(keep, f)
+		}
+		live = keep
+		if len(live) == 0 {
+			continue
+		}
+
+		// Land KV-cache strikes due this iteration, then step.
+		rows = rows[:0]
+		for _, f := range live {
+			if f.sf != nil {
+				f.sf.BeforeStep(f.row.St)
+			}
+			rows = append(rows, f.row)
+		}
+		bt.Step(rows)
+
+		keep = live[:0]
+		for _, f := range live {
+			tok, ok := f.stepper.Next(f.row.Logits, f.row.St.Pos, e.m.Cfg.MaxSeq)
+			if !ok {
+				e.retire(f, nil)
+				continue
+			}
+			f.row.Tok = tok
+			keep = append(keep, f)
+		}
+		live = keep
+	}
+
+	e.serial.Wait()
+	close(e.done)
+	return nil
+}
+
+// failQueued rejects every request still waiting in the queue buffer.
+func (e *Engine) failQueued() {
+	for {
+		select {
+		case p := <-e.queue:
+			e.met.observeRejected(statusDraining)
+			p.resp <- Response{ID: p.req.ID, Err: ErrDraining}
+		default:
+			return
+		}
+	}
+}
+
+// admit turns a pending request into a flight: build its stepper, arm
+// its fault and checker on the row (scheduler goroutine — the checksum
+// cache is single-threaded by construction), and consume the prefix
+// logits for the first token. Returns nil if the request finished
+// during admission (first token was EOS).
+func (e *Engine) admit(p *pending) *flight {
+	f := &flight{
+		p:       p,
+		stepper: gen.NewStepper(e.genSettings(p.req.MaxNew)),
+		row:     &model.DecodeRow{St: p.st, Logits: make([]float32, e.m.Cfg.Vocab)},
+	}
+	if p.site != nil {
+		if err := e.armRow(f); err != nil {
+			e.retire(f, fmt.Errorf("%w: %v", ErrInvalid, err))
+			return nil
+		}
+	}
+	tok, ok := f.stepper.Next(p.prefix, p.st.Pos, e.m.Cfg.MaxSeq)
+	if !ok {
+		e.retire(f, nil)
+		return nil
+	}
+	f.row.Tok = tok
+	return f
+}
+
+// armRow scopes the request's fault and checker to its own batch row.
+func (e *Engine) armRow(f *flight) error {
+	site := *f.p.site
+	promptLen := len(f.p.req.Prompt)
+	switch site.Surface {
+	case faults.SurfaceKV:
+		sf, err := faults.ArmKV(site, promptLen)
+		if err != nil {
+			return err
+		}
+		f.sf = sf
+	default:
+		inj, hook, err := faults.ArmHook(e.m, site, promptLen)
+		if err != nil {
+			return err
+		}
+		f.inj = inj
+		if site.Surface == faults.SurfaceAttn {
+			f.row.AttnHooks = []model.Hook{hook}
+		} else {
+			f.row.Hooks = []model.Hook{hook}
+		}
+	}
+	if a := e.cfg.Inject.ABFT; a != nil {
+		ck := abft.NewWithCache(abft.Config{Tol: a.Tol, Policy: a.Policy}, e.cache)
+		if a.AllLayers {
+			if err := ck.ProtectAll(e.m); err != nil {
+				return err
+			}
+		} else if site.Surface == faults.SurfaceLinear {
+			if err := ck.Protect(e.m, site.Layer); err != nil {
+				return err
+			}
+		}
+		f.checker = ck
+		f.row.Checker = ck
+	}
+	return nil
+}
+
+// retire finishes a flight: score, classify, record, respond.
+func (e *Engine) retire(f *flight, err error) {
+	res := f.stepper.Result()
+	resp := e.finish(f.p.req, f.p.start, res.Tokens, res.Steps, f.p.site, err)
+	if f.inj != nil {
+		resp.Fired = f.inj.Fired
+		f.inj.Disarm()
+	} else if f.sf != nil {
+		resp.Fired = f.sf.Fired
+	}
+	if f.checker != nil {
+		resp.Detected = f.checker.Stats().Flagged
+		e.met.observeDetection(f.checker.Stats().Flagged)
+	}
+	f.p.resp <- resp
+}
+
+// runSerial executes a weight-resident-fault request on a private
+// copy-on-write clone: clean prefill, checksum capture, arm, serial
+// decode with per-token cancellation checks, disarm. Sibling requests
+// never observe the flip — the clone privatizes the struck storage
+// before writing.
+func (e *Engine) runSerial(ctx context.Context, req Request, site faults.Site, start time.Time) Response {
+	wm := e.m.CloneShared()
+	st := wm.NewState()
+	logits := st.Prefill(req.Prompt)
+
+	var ck *abft.Checker
+	if a := e.cfg.Inject.ABFT; a != nil {
+		// Private cache: the engine's cache belongs to the scheduler
+		// goroutine. Protect before Arm so checksums capture clean weights.
+		ck = abft.NewWithCache(abft.Config{Tol: a.Tol, Policy: a.Policy}, abft.NewCache())
+		var err error
+		if a.AllLayers {
+			err = ck.ProtectAll(wm)
+		} else if site.Surface == faults.SurfaceLinear {
+			err = ck.Protect(wm, site.Layer)
+		}
+		if err != nil {
+			e.met.observeRejected(statusInvalid)
+			return Response{ID: req.ID, Err: fmt.Errorf("%w: %v", ErrInvalid, err)}
+		}
+		wm.SetChecker(ck)
+	}
+
+	inj, err := faults.Arm(wm, site, len(req.Prompt))
+	if err != nil {
+		e.met.observeRejected(statusInvalid)
+		return Response{ID: req.ID, Err: fmt.Errorf("%w: %v", ErrInvalid, err)}
+	}
+	defer inj.Disarm()
+
+	stepper := gen.NewStepper(e.genSettings(req.MaxNew))
+	tok, ok := stepper.Next(logits, st.Pos, wm.Cfg.MaxSeq)
+	var ctxErr error
+	for ok {
+		if err := ctx.Err(); err != nil {
+			ctxErr = err
+			break
+		}
+		logits = st.DecodeStep(tok)
+		tok, ok = stepper.Next(logits, st.Pos, wm.Cfg.MaxSeq)
+	}
+	res := stepper.Result()
+	resp := e.finish(req, start, res.Tokens, res.Steps, &site, ctxErr)
+	resp.Fired = inj.Fired
+	if ck != nil {
+		resp.Detected = ck.Stats().Flagged
+		e.met.observeDetection(ck.Stats().Flagged)
+	}
+	return resp
+}
+
+// finish assembles the Response and records the request's metrics.
+func (e *Engine) finish(req Request, start time.Time, tokens []int, steps int, site *faults.Site, err error) Response {
+	latency := time.Since(start)
+	resp := Response{
+		ID:      req.ID,
+		Tokens:  tokens,
+		Steps:   steps,
+		Latency: latency,
+		Err:     err,
+	}
+	if e.cfg.Vocab != nil {
+		resp.Text = e.cfg.Vocab.Decode(tokens)
+	}
+	st := statusOK
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		st = statusDeadline
+	case errors.Is(err, context.Canceled):
+		st = statusCanceled
+	case err != nil:
+		st = statusInvalid
+	}
+	if site != nil {
+		resp.Injected = true
+		resp.Site = site.String()
+		resp.Surface = site.Surface.String()
+		e.met.observeInjected()
+		if req.Baseline != nil && err == nil {
+			an := outcome.Classify(tokens, req.Baseline, tokensEqual(tokens, req.Baseline), outcome.Thresholds{})
+			resp.Outcome = an.Class.String()
+			e.met.observeOutcome(an.Class)
+		}
+	}
+	e.met.observeRequest(st, latency, len(tokens))
+	if e.cfg.SLO > 0 && latency > e.cfg.SLO {
+		e.met.observeSLOViolation()
+	}
+	return resp
+}
+
+// finishErr records a request that failed before reaching a batch row.
+func (e *Engine) finishErr(id string, start time.Time, err error) Response {
+	latency := time.Since(start)
+	st := statusCanceled
+	if errors.Is(err, context.DeadlineExceeded) {
+		st = statusDeadline
+	}
+	e.met.observeRequest(st, latency, 0)
+	if e.cfg.SLO > 0 && latency > e.cfg.SLO {
+		e.met.observeSLOViolation()
+	}
+	return Response{ID: id, Latency: latency, Err: err}
+}
+
+// tokensEqual reports exact sequence equality.
+func tokensEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if v != b[i] {
+			return false
+		}
+	}
+	return true
+}

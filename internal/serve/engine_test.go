@@ -1,0 +1,393 @@
+package serve_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/gen"
+	"repro/internal/mitigate"
+	"repro/internal/model"
+	"repro/internal/numerics"
+	"repro/internal/serve"
+	"repro/internal/serve/loadgen"
+	"repro/internal/token"
+)
+
+// testServeModel builds the tiny deterministic model and matching
+// vocabulary the serving scenario tests run on.
+func testServeModel(t testing.TB) (*model.Model, *token.Vocab) {
+	t.Helper()
+	words := make([]string, 28)
+	for i := range words {
+		words[i] = fmt.Sprintf("w%02d", i)
+	}
+	vocab := token.NewVocab(words)
+	cfg := model.Config{
+		Name: "serve-test", Vocab: vocab.Size(), DModel: 16, NHeads: 2,
+		NBlocks: 3, FFHidden: 24, MaxSeq: 48, Eps: 1e-5,
+		DType: numerics.BF16, RopeTheta: 10000,
+	}
+	return model.MustBuild(model.Spec{Config: cfg, Family: model.QwenS, Seed: 7}), vocab
+}
+
+// testPrompts is a fixed prompt set (token ids all in-vocab).
+func testPrompts() [][]int {
+	return [][]int{
+		{5, 9, 17, 4},
+		{21, 6, 30, 11, 8},
+		{12, 25, 7},
+		{18, 18, 4, 29, 15, 10},
+	}
+}
+
+// baselinesFor decodes each prompt fault-free through the serial
+// generator — the reference the batched serving path must match
+// bit-identically.
+func baselinesFor(m *model.Model, prompts [][]int, maxNew int) [][]int {
+	out := make([][]int, len(prompts))
+	for i, p := range prompts {
+		out[i] = gen.Generate(m, p, gen.Defaults(maxNew)).Tokens
+	}
+	return out
+}
+
+// startEngine launches cfg's engine with a running scheduler and returns
+// it with a stop function (idempotent) that drains and waits for Run.
+func startEngine(t *testing.T, cfg serve.Config) (*serve.Engine, func()) {
+	t.Helper()
+	e, err := serve.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	runDone := make(chan error, 1)
+	go func() { runDone <- e.Run(ctx) }()
+	var once sync.Once
+	stop := func() {
+		once.Do(func() {
+			cancel()
+			if err := <-runDone; err != nil {
+				t.Errorf("Run: %v", err)
+			}
+		})
+	}
+	t.Cleanup(stop)
+	return e, stop
+}
+
+// TestServeLoadgenGolden is the deterministic end-to-end scenario: N
+// concurrent requests with fixed seeds produce a byte-identical response
+// set, equal to serial generation, regardless of stream count or batch
+// composition.
+func TestServeLoadgenGolden(t *testing.T) {
+	m, vocab := testServeModel(t)
+	prompts := testPrompts()
+	const maxNew = 12
+	want := baselinesFor(m, prompts, maxNew)
+
+	run := func(streams, width int) *loadgen.Stats {
+		e, stop := startEngine(t, serve.Config{Model: m, Vocab: vocab, Width: width})
+		defer stop()
+		st, err := loadgen.Run(context.Background(), e, loadgen.Config{
+			Streams: streams, Requests: 16, Prompts: prompts, MaxNew: maxNew, Seed: 900,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	ref := run(1, 1)
+	if ref.OK != 16 || ref.Failed != 0 {
+		t.Fatalf("serial reference: %d ok, %d failed", ref.OK, ref.Failed)
+	}
+	for r, resp := range ref.Responses {
+		if !reflect.DeepEqual(resp.Tokens, want[r%len(prompts)]) {
+			t.Fatalf("request %d: served %v, serial baseline %v", r, resp.Tokens, want[r%len(prompts)])
+		}
+		if wantText := vocab.Decode(resp.Tokens); resp.Text != wantText {
+			t.Fatalf("request %d: text %q, want %q", r, resp.Text, wantText)
+		}
+	}
+	for _, streams := range []int{4, 8} {
+		st := run(streams, 8)
+		if st.OK != 16 {
+			t.Fatalf("streams=%d: %d ok", streams, st.OK)
+		}
+		for r := range st.Responses {
+			if !reflect.DeepEqual(st.Responses[r].Tokens, ref.Responses[r].Tokens) {
+				t.Fatalf("streams=%d request %d: %v, want %v",
+					streams, r, st.Responses[r].Tokens, ref.Responses[r].Tokens)
+			}
+		}
+	}
+}
+
+// TestServeDeadlineExceeded pins the deadline path: an already-expired
+// per-request deadline surfaces as context.DeadlineExceeded and counts
+// under the deadline_exceeded status.
+func TestServeDeadlineExceeded(t *testing.T) {
+	m, vocab := testServeModel(t)
+	e, stop := startEngine(t, serve.Config{Model: m, Vocab: vocab})
+	defer stop()
+	resp := e.Submit(context.Background(), serve.Request{
+		ID: "dl", Prompt: testPrompts()[0], MaxNew: 8, Deadline: time.Nanosecond,
+	})
+	if !errors.Is(resp.Err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", resp.Err)
+	}
+	if got := e.Metrics().Snapshot().Requests[serve.StatusDeadlineForTest]; got != 1 {
+		t.Fatalf("deadline_exceeded count = %d", got)
+	}
+}
+
+// TestServeCancelMidRequest cancels a request that is already admitted:
+// the engine is started only after the request is enqueued and its
+// context cancelled, so the scheduler deterministically sweeps it out
+// with context.Canceled.
+func TestServeCancelMidRequest(t *testing.T) {
+	m, vocab := testServeModel(t)
+	e, err := serve.NewEngine(serve.Config{Model: m, Vocab: vocab})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqCtx, cancelReq := context.WithCancel(context.Background())
+	respCh := make(chan serve.Response, 1)
+	go func() {
+		respCh <- e.Submit(reqCtx, serve.Request{ID: "c", Prompt: testPrompts()[1], MaxNew: 8})
+	}()
+	// The request sits in the queue (no scheduler yet); cancel it, then
+	// start the scheduler, which must retire it as canceled.
+	time.Sleep(10 * time.Millisecond)
+	cancelReq()
+	runCtx, cancelRun := context.WithCancel(context.Background())
+	runDone := make(chan error, 1)
+	go func() { runDone <- e.Run(runCtx) }()
+	resp := <-respCh
+	if !errors.Is(resp.Err, context.Canceled) {
+		t.Fatalf("err = %v, want canceled", resp.Err)
+	}
+	if got := e.Metrics().Snapshot().Requests[serve.StatusCanceledForTest]; got != 1 {
+		t.Fatalf("canceled count = %d", got)
+	}
+	cancelRun()
+	if err := <-runDone; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServeGracefulDrain pins the shutdown contract: after Run's context
+// is cancelled, every submitted request resolves (completed or
+// serve.ErrDraining, nothing lost or hung), Run returns, later Submits get
+// serve.ErrDraining, and the in-flight gauge returns to zero.
+func TestServeGracefulDrain(t *testing.T) {
+	m, vocab := testServeModel(t)
+	e, err := serve.NewEngine(serve.Config{Model: m, Vocab: vocab, Width: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runCtx, cancelRun := context.WithCancel(context.Background())
+	runDone := make(chan error, 1)
+	go func() { runDone <- e.Run(runCtx) }()
+
+	const n = 12
+	resps := make([]serve.Response, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resps[i] = e.Submit(context.Background(), serve.Request{
+				ID: fmt.Sprintf("g%d", i), Prompt: testPrompts()[i%4], MaxNew: 10,
+			})
+		}(i)
+	}
+	time.Sleep(2 * time.Millisecond) // let some requests reach the batch
+	cancelRun()
+	wg.Wait()
+	if err := <-runDone; err != nil {
+		t.Fatal(err)
+	}
+
+	completed, drained := 0, 0
+	for i, r := range resps {
+		switch {
+		case r.Err == nil:
+			completed++
+		case errors.Is(r.Err, serve.ErrDraining):
+			drained++
+		default:
+			t.Fatalf("request %d: unexpected error %v", i, r.Err)
+		}
+	}
+	if completed+drained != n {
+		t.Fatalf("accounted %d+%d of %d requests", completed, drained, n)
+	}
+	s := e.Metrics().Snapshot()
+	if s.InFlight != 0 {
+		t.Fatalf("in-flight gauge %d after drain", s.InFlight)
+	}
+	if s.Requests[serve.StatusOKForTest] != int64(completed) || s.Requests[serve.StatusDrainingForTest] < int64(drained) {
+		t.Fatalf("status counters %v vs completed=%d drained=%d", s.Requests, completed, drained)
+	}
+
+	resp := e.Submit(context.Background(), serve.Request{ID: "late", Prompt: testPrompts()[0], MaxNew: 4})
+	if !errors.Is(resp.Err, serve.ErrDraining) {
+		t.Fatalf("post-drain Submit err = %v, want ErrDraining", resp.Err)
+	}
+}
+
+// TestServeInvalidRequests pins request validation.
+func TestServeInvalidRequests(t *testing.T) {
+	m, vocab := testServeModel(t)
+	e, stop := startEngine(t, serve.Config{Model: m, Vocab: vocab, MaxNewCap: 16})
+	defer stop()
+	cases := []serve.Request{
+		{ID: "empty"},
+		{ID: "negative", Prompt: []int{5}, MaxNew: -1},
+		{ID: "over-cap", Prompt: []int{5}, MaxNew: 17},
+		{ID: "too-long", Prompt: make([]int, 40), MaxNew: 16},
+	}
+	for _, req := range cases {
+		if resp := e.Submit(context.Background(), req); !errors.Is(resp.Err, serve.ErrInvalid) {
+			t.Fatalf("%s: err = %v, want ErrInvalid", req.ID, resp.Err)
+		}
+	}
+	if got := e.Metrics().Snapshot().Requests[serve.StatusInvalidForTest]; got != int64(len(cases)) {
+		t.Fatalf("invalid count = %d, want %d", got, len(cases))
+	}
+}
+
+// campaignStats runs one injection campaign over the engine and renders
+// each response as a comparable line (latency excluded — everything else
+// must be a pure function of the load config).
+func campaignStats(t *testing.T, m *model.Model, vocab *token.Vocab, streams int) []string {
+	t.Helper()
+	prompts := testPrompts()
+	const maxNew = 10
+	e, stop := startEngine(t, serve.Config{
+		Model: m, Vocab: vocab, Width: 4,
+		Inject: &serve.InjectConfig{
+			Fault:    faults.Comp1Bit,
+			Surfaces: faults.Surfaces,
+			Seed:     4242,
+			ABFT:     &serve.ABFTConfig{Policy: mitigate.PolicyDetect},
+		},
+	})
+	defer stop()
+	st, err := loadgen.Run(context.Background(), e, loadgen.Config{
+		Streams: streams, Requests: 24, Prompts: prompts,
+		Baselines: baselinesFor(m, prompts, maxNew),
+		MaxNew:    maxNew, Seed: 31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := make([]string, len(st.Responses))
+	for i, r := range st.Responses {
+		lines[i] = fmt.Sprintf("%s tok=%v fired=%v site=%q surf=%s out=%s det=%d err=%v",
+			r.ID, r.Tokens, r.Fired, r.Site, r.Surface, r.Outcome, r.Detected, r.Err)
+	}
+	return lines
+}
+
+// TestServeCampaignDeterminism pins the live-campaign trial contract:
+// with all five surfaces armed and ABFT in site policy, every
+// per-request result (tokens, site, fired, outcome, detection) is
+// identical across runs AND across stream counts — fault sites depend
+// only on (campaign seed, request seed), never on batch composition.
+func TestServeCampaignDeterminism(t *testing.T) {
+	m, vocab := testServeModel(t)
+	a := campaignStats(t, m, vocab, 6)
+	b := campaignStats(t, m, vocab, 6)
+	c := campaignStats(t, m, vocab, 1)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("rerun diverged at request %d:\n%s\n%s", i, a[i], b[i])
+		}
+		if a[i] != c[i] {
+			t.Fatalf("stream count changed request %d:\n%s\n%s", i, a[i], c[i])
+		}
+	}
+	// The campaign must actually have injected and classified.
+	injected := 0
+	for _, line := range a {
+		if line != "" {
+			injected++
+		}
+	}
+	if injected != 24 {
+		t.Fatalf("expected 24 responses, got %d", injected)
+	}
+}
+
+// TestServeCampaignClassification checks campaign-mode bookkeeping: all
+// responses report injection, outcomes are classified against baselines,
+// and weight-resident surfaces really did take the serial path (their
+// site strings name norm/embed storage).
+func TestServeCampaignClassification(t *testing.T) {
+	m, vocab := testServeModel(t)
+	prompts := testPrompts()
+	const maxNew = 10
+	e, stop := startEngine(t, serve.Config{
+		Model: m, Vocab: vocab, Width: 4,
+		Inject: &serve.InjectConfig{Fault: faults.Comp1Bit, Surfaces: faults.Surfaces, Seed: 77},
+	})
+	defer stop()
+	st, err := loadgen.Run(context.Background(), e, loadgen.Config{
+		Streams: 8, Requests: 32, Prompts: prompts,
+		Baselines: baselinesFor(m, prompts, maxNew),
+		MaxNew:    maxNew, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.OK != 32 {
+		t.Fatalf("%d ok of 32 (failed=%d)", st.OK, st.Failed)
+	}
+	if st.Injected != 32 {
+		t.Fatalf("injected=%d, want 32", st.Injected)
+	}
+	surfaces := map[string]int{}
+	outcomes := 0
+	for _, r := range st.Responses {
+		surfaces[r.Surface]++
+		if r.Outcome != "" {
+			outcomes++
+		}
+	}
+	if outcomes != 32 {
+		t.Fatalf("classified %d of 32", outcomes)
+	}
+	if len(surfaces) < 3 {
+		t.Fatalf("surface spread too narrow: %v", surfaces)
+	}
+	snap := e.Metrics().Snapshot()
+	if snap.Injected != 32 {
+		t.Fatalf("metrics injected=%d", snap.Injected)
+	}
+	var outSum int64
+	for _, v := range snap.Outcomes {
+		outSum += v
+	}
+	if outSum != 32 {
+		t.Fatalf("metrics outcomes sum=%d", outSum)
+	}
+	// A fresh engine must serve the clean baseline afterwards: no trial
+	// left residue in the shared weights.
+	clean, stopClean := startEngine(t, serve.Config{Model: m, Vocab: vocab})
+	defer stopClean()
+	want := baselinesFor(m, prompts, maxNew)
+	for i, p := range prompts {
+		resp := clean.Submit(context.Background(), serve.Request{ID: "post", Prompt: p, MaxNew: maxNew})
+		if !reflect.DeepEqual(resp.Tokens, want[i]) {
+			t.Fatalf("prompt %d corrupted after campaign: %v vs %v", i, resp.Tokens, want[i])
+		}
+	}
+}

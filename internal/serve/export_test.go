@@ -1,0 +1,12 @@
+package serve
+
+// Status indexes re-exported for the external scenario tests
+// (package serve_test imports loadgen, which imports serve, so those
+// tests cannot live in-package).
+const (
+	StatusOKForTest       = statusOK
+	StatusInvalidForTest  = statusInvalid
+	StatusDeadlineForTest = statusDeadline
+	StatusCanceledForTest = statusCanceled
+	StatusDrainingForTest = statusDraining
+)

@@ -1,0 +1,68 @@
+package serve_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/serve"
+	"repro/internal/token"
+)
+
+// FuzzGenerateRequest throws arbitrary bytes at the serving request
+// decoder: it must never panic, and every accepted request must satisfy
+// the engine's admission invariants (max_tokens in range, prompt fits
+// the context, deadline positive and bounded). Rejections must carry a
+// 4xx status and a non-empty code — the clean error envelope the HTTP
+// layer renders.
+func FuzzGenerateRequest(f *testing.F) {
+	words := make([]string, 28)
+	for i := range words {
+		words[i] = fmt.Sprintf("w%02d", i)
+	}
+	vocab := token.NewVocab(words)
+	lim := serve.ParseLimits{MaxSeq: 48, DefaultMaxNew: 8, MaxNewCap: 32}
+
+	seeds := []string{
+		`{"id":"a","prompt":"w05 w09","max_tokens":8}`,
+		`{"prompt":"w05","deadline_ms":250,"seed":42}`,
+		`{"prompt": w"`,
+		`{"prompt":"w05"}{"again":1}`,
+		`{"prompt":"w05","temperature":2}`,
+		`{"prompt":"","max_tokens":0}`,
+		`{"prompt":"w05","max_tokens":-9000000000000000000}`,
+		`{"prompt":"w05","max_tokens":9000000000000000000}`,
+		`{"prompt":"w05","deadline_ms":0}`,
+		`{"prompt":"w05","deadline_ms":-1}`,
+		`{"prompt":"w05","deadline_ms":9000000000000}`,
+		`{"id":"` + string(make([]byte, 200)) + `","prompt":"w05"}`,
+		`[1,2,3]`,
+		`null`,
+		`"w05"`,
+		``,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, rerr := serve.ParseGenerateRequest(data, vocab, lim)
+		if rerr != nil {
+			if rerr.Status < 400 || rerr.Status > 499 || rerr.Code == "" {
+				t.Fatalf("rejection without a clean 4xx envelope: %+v", rerr)
+			}
+			return
+		}
+		if len(req.Prompt) == 0 {
+			t.Fatalf("accepted request with empty prompt: %q", data)
+		}
+		if req.MaxNew <= 0 || req.MaxNew > lim.MaxNewCap {
+			t.Fatalf("accepted max_tokens %d outside (0, %d]: %q", req.MaxNew, lim.MaxNewCap, data)
+		}
+		if len(req.Prompt)+req.MaxNew > lim.MaxSeq {
+			t.Fatalf("accepted request exceeding context: %q", data)
+		}
+		if req.Deadline < 0 {
+			t.Fatalf("accepted negative deadline: %q", data)
+		}
+	})
+}

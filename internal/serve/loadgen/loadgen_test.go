@@ -1,0 +1,156 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// fakeTarget scripts responses by request index and records which
+// requests arrived, for assertions about the strided assignment.
+type fakeTarget struct {
+	mu   sync.Mutex
+	seen map[string]serve.Request
+	resp func(r serve.Request) serve.Response
+}
+
+func (f *fakeTarget) Submit(ctx context.Context, req serve.Request) serve.Response {
+	f.mu.Lock()
+	f.seen[req.ID] = req
+	f.mu.Unlock()
+	return f.resp(req)
+}
+
+func TestLoadgenValidation(t *testing.T) {
+	tgt := &fakeTarget{seen: map[string]serve.Request{}}
+	if _, err := Run(context.Background(), tgt, Config{Requests: 0, Prompts: [][]int{{1}}}); err == nil {
+		t.Fatal("want error for zero requests")
+	}
+	if _, err := Run(context.Background(), tgt, Config{Requests: 4}); err == nil {
+		t.Fatal("want error for no prompts")
+	}
+	if _, err := Run(context.Background(), tgt, Config{
+		Requests: 4, Prompts: [][]int{{1}, {2}}, Baselines: [][]int{{1}},
+	}); err == nil {
+		t.Fatal("want error for mismatched baselines")
+	}
+}
+
+// TestLoadgenDeterministicAssignment pins the request construction:
+// ids, prompt cycling, per-request seeds, and baselines are pure
+// functions of the config, independent of stream count.
+func TestLoadgenDeterministicAssignment(t *testing.T) {
+	prompts := [][]int{{4, 5}, {6, 7, 8}, {9}}
+	baselines := [][]int{{1}, {2}, {3}}
+	for _, streams := range []int{1, 3, 8} {
+		tgt := &fakeTarget{
+			seen: map[string]serve.Request{},
+			resp: func(r serve.Request) serve.Response {
+				return serve.Response{ID: r.ID, Tokens: r.Prompt, Latency: time.Millisecond}
+			},
+		}
+		st, err := Run(context.Background(), tgt, Config{
+			Streams: streams, Requests: 10, Prompts: prompts, Baselines: baselines,
+			MaxNew: 6, Seed: 1000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tgt.seen) != 10 || st.OK != 10 {
+			t.Fatalf("streams=%d: saw %d requests, %d ok", streams, len(tgt.seen), st.OK)
+		}
+		for r := 0; r < 10; r++ {
+			id := fmt.Sprintf("r%05d", r)
+			req, ok := tgt.seen[id]
+			if !ok {
+				t.Fatalf("streams=%d: request %s never fired", streams, id)
+			}
+			if req.Seed != 1000+uint64(r) || req.MaxNew != 6 {
+				t.Fatalf("streams=%d %s: seed=%d maxNew=%d", streams, id, req.Seed, req.MaxNew)
+			}
+			if len(req.Prompt) != len(prompts[r%3]) || len(req.Baseline) != len(baselines[r%3]) {
+				t.Fatalf("streams=%d %s: prompt/baseline cycling broke", streams, id)
+			}
+			if len(st.Responses[r].Tokens) != len(prompts[r%3]) {
+				t.Fatalf("streams=%d: response %d landed in the wrong slot", streams, r)
+			}
+		}
+	}
+}
+
+// TestLoadgenAggregation pins the status partition, latency percentiles,
+// and SLO accounting over a scripted response set.
+func TestLoadgenAggregation(t *testing.T) {
+	tgt := &fakeTarget{
+		seen: map[string]serve.Request{},
+		resp: func(r serve.Request) serve.Response {
+			var n int
+			fmt.Sscanf(r.ID, "r%05d", &n)
+			resp := serve.Response{ID: r.ID, Latency: time.Duration(n+1) * time.Millisecond}
+			switch {
+			case n == 0:
+				resp.Err = context.DeadlineExceeded
+			case n == 1:
+				resp.Err = context.Canceled
+			case n == 2:
+				resp.Err = serve.ErrDraining
+			default:
+				resp.Injected = true
+				resp.Fired = n%2 == 0
+				resp.Outcome = "Masked"
+			}
+			return resp
+		},
+	}
+	st, err := Run(context.Background(), tgt, Config{
+		Streams: 4, Requests: 20, Prompts: [][]int{{1}}, SLO: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.OK != 17 || st.DeadlineExceeded != 1 || st.Canceled != 1 || st.Failed != 1 {
+		t.Fatalf("partition ok=%d dl=%d cancel=%d failed=%d", st.OK, st.DeadlineExceeded, st.Canceled, st.Failed)
+	}
+	if st.Injected != 17 || st.Fired != 8 || st.Outcomes["Masked"] != 17 {
+		t.Fatalf("injected=%d fired=%d outcomes=%v", st.Injected, st.Fired, st.Outcomes)
+	}
+	// Latencies are 1..20ms; 10 of them exceed the 10ms SLO.
+	if st.SLOViolations != 10 {
+		t.Fatalf("slo violations = %d", st.SLOViolations)
+	}
+	if st.Max != 20*time.Millisecond || st.P50 != 11*time.Millisecond {
+		t.Fatalf("max=%v p50=%v", st.Max, st.P50)
+	}
+	if st.P99 != 20*time.Millisecond {
+		t.Fatalf("p99=%v", st.P99)
+	}
+}
+
+// TestLoadgenCancellation checks streams stop at the next request
+// boundary once the context dies.
+func TestLoadgenCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	fired := 0
+	tgt := &fakeTarget{
+		seen: map[string]serve.Request{},
+		resp: func(r serve.Request) serve.Response {
+			fired++
+			if fired == 3 {
+				cancel()
+			}
+			return serve.Response{ID: r.ID}
+		},
+	}
+	st, err := Run(ctx, tgt, Config{Streams: 1, Requests: 100, Prompts: [][]int{{1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fired >= 100 {
+		t.Fatalf("cancellation ignored: %d requests fired", fired)
+	}
+	_ = st
+}

@@ -1,0 +1,215 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/outcome"
+)
+
+// reqStatus labels a finished (or rejected) request.
+type reqStatus int
+
+const (
+	statusOK reqStatus = iota
+	statusInvalid
+	statusDeadline
+	statusCanceled
+	statusDraining
+
+	nStatus
+)
+
+// String names the status as exported in metric labels.
+func (s reqStatus) String() string {
+	switch s {
+	case statusOK:
+		return "ok"
+	case statusInvalid:
+		return "invalid"
+	case statusDeadline:
+		return "deadline_exceeded"
+	case statusCanceled:
+		return "canceled"
+	case statusDraining:
+		return "draining"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// nLatencyBuckets and latencyBucketBounds mirror the campaign
+// telemetry's phase-latency histogram shape (internal/core): exponential
+// bounds starting at 1µs and doubling per bucket. Requests live longer
+// than kernel phases, so the request histogram carries 26 finite buckets
+// (~33.6s) before +Inf.
+const nLatencyBuckets = 26
+
+// latencyBucketBounds returns the finite bucket upper bounds in seconds.
+func latencyBucketBounds() [nLatencyBuckets]float64 {
+	var b [nLatencyBuckets]float64
+	v := 1e-6
+	for i := range b {
+		b[i] = v
+		v *= 2
+	}
+	return b
+}
+
+// Metrics is the per-request serving instrumentation: request counters
+// by status, an exponential latency histogram, SLO violations, the
+// in-flight gauge, and campaign-mode injection/outcome counters. All
+// methods are safe for concurrent use (lock-free atomics on the hot
+// path, matching the campaign telemetry's design).
+type Metrics struct {
+	inFlight      atomic.Int64
+	requests      [nStatus]atomic.Int64
+	tokens        atomic.Int64
+	sloViolations atomic.Int64
+
+	latBuckets [nLatencyBuckets + 1]atomic.Int64
+	latCount   atomic.Int64
+	latSumNS   atomic.Int64
+
+	injected atomic.Int64
+	detected atomic.Int64
+	outcomes [3]atomic.Int64
+}
+
+// NewMetrics returns zeroed serving metrics.
+func NewMetrics() *Metrics { return &Metrics{} }
+
+func (m *Metrics) requestStarted() { m.inFlight.Add(1) }
+func (m *Metrics) requestDone()    { m.inFlight.Add(-1) }
+
+// observeRequest records one finished request.
+func (m *Metrics) observeRequest(st reqStatus, latency time.Duration, tokens int) {
+	m.requests[st].Add(1)
+	m.tokens.Add(int64(tokens))
+	sec := latency.Seconds()
+	bounds := latencyBucketBounds()
+	idx := nLatencyBuckets // +Inf
+	for i, b := range bounds {
+		if sec <= b {
+			idx = i
+			break
+		}
+	}
+	m.latBuckets[idx].Add(1)
+	m.latCount.Add(1)
+	m.latSumNS.Add(int64(latency))
+}
+
+// observeRejected records a request refused before it ran.
+func (m *Metrics) observeRejected(st reqStatus) { m.requests[st].Add(1) }
+
+func (m *Metrics) observeSLOViolation() { m.sloViolations.Add(1) }
+
+func (m *Metrics) observeInjected() { m.injected.Add(1) }
+
+func (m *Metrics) observeDetection(flagged int) { m.detected.Add(int64(flagged)) }
+
+func (m *Metrics) observeOutcome(c outcome.Class) {
+	if c >= 0 && int(c) < len(m.outcomes) {
+		m.outcomes[c].Add(1)
+	}
+}
+
+// MetricsSnapshot is a consistent-enough copy of the counters for
+// rendering (individual counters are atomic; the set is sampled live).
+type MetricsSnapshot struct {
+	InFlight      int64
+	Requests      [nStatus]int64
+	Tokens        int64
+	SLOViolations int64
+	LatBuckets    [nLatencyBuckets + 1]int64
+	LatCount      int64
+	LatSum        float64 // seconds
+	Injected      int64
+	Detected      int64
+	Outcomes      [3]int64
+}
+
+// Snapshot samples the counters.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	var s MetricsSnapshot
+	s.InFlight = m.inFlight.Load()
+	for i := range s.Requests {
+		s.Requests[i] = m.requests[i].Load()
+	}
+	s.Tokens = m.tokens.Load()
+	s.SLOViolations = m.sloViolations.Load()
+	for i := range s.LatBuckets {
+		s.LatBuckets[i] = m.latBuckets[i].Load()
+	}
+	s.LatCount = m.latCount.Load()
+	s.LatSum = time.Duration(m.latSumNS.Load()).Seconds()
+	s.Injected = m.injected.Load()
+	s.Detected = m.detected.Load()
+	for i := range s.Outcomes {
+		s.Outcomes[i] = m.outcomes[i].Load()
+	}
+	return s
+}
+
+// WriteMetricsText renders the snapshot in Prometheus text exposition
+// format 0.0.4, deterministically (fixed family and label order), in
+// the same style as the campaign metrics renderer (internal/report).
+func WriteMetricsText(w io.Writer, s MetricsSnapshot) error {
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	fv := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+	p("# HELP llmfi_serve_in_flight Requests currently being served.\n")
+	p("# TYPE llmfi_serve_in_flight gauge\n")
+	p("llmfi_serve_in_flight %d\n", s.InFlight)
+
+	p("# HELP llmfi_serve_requests_total Finished requests by terminal status.\n")
+	p("# TYPE llmfi_serve_requests_total counter\n")
+	for st := reqStatus(0); st < nStatus; st++ {
+		p("llmfi_serve_requests_total{status=%q} %d\n", st.String(), s.Requests[st])
+	}
+
+	p("# HELP llmfi_serve_tokens_total Generated tokens returned to clients.\n")
+	p("# TYPE llmfi_serve_tokens_total counter\n")
+	p("llmfi_serve_tokens_total %d\n", s.Tokens)
+
+	p("# HELP llmfi_serve_slo_violations_total Finished requests slower than the configured SLO.\n")
+	p("# TYPE llmfi_serve_slo_violations_total counter\n")
+	p("llmfi_serve_slo_violations_total %d\n", s.SLOViolations)
+
+	p("# HELP llmfi_serve_request_latency_seconds End-to-end request latency.\n")
+	p("# TYPE llmfi_serve_request_latency_seconds histogram\n")
+	bounds := latencyBucketBounds()
+	var cum int64
+	for i, b := range bounds {
+		cum += s.LatBuckets[i]
+		p("llmfi_serve_request_latency_seconds_bucket{le=%q} %d\n", fv(b), cum)
+	}
+	cum += s.LatBuckets[nLatencyBuckets]
+	p("llmfi_serve_request_latency_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	p("llmfi_serve_request_latency_seconds_sum %s\n", fv(s.LatSum))
+	p("llmfi_serve_request_latency_seconds_count %d\n", s.LatCount)
+
+	p("# HELP llmfi_serve_injected_total Requests served with an armed fault.\n")
+	p("# TYPE llmfi_serve_injected_total counter\n")
+	p("llmfi_serve_injected_total %d\n", s.Injected)
+
+	p("# HELP llmfi_serve_detected_total ABFT checks flagged across served requests.\n")
+	p("# TYPE llmfi_serve_detected_total counter\n")
+	p("llmfi_serve_detected_total %d\n", s.Detected)
+
+	p("# HELP llmfi_serve_outcome_total Classified request outcomes under injection.\n")
+	p("# TYPE llmfi_serve_outcome_total counter\n")
+	for c := outcome.Masked; c <= outcome.SDCDistorted; c++ {
+		p("llmfi_serve_outcome_total{class=%q} %d\n", c.String(), s.Outcomes[c])
+	}
+	return err
+}
