@@ -39,10 +39,12 @@ race:
 ## (BENCH_2.json), ABFT off vs site-only vs all-layer checking
 ## (BENCH_3.json), tracing off vs sampled vs every-trial probes
 ## (BENCH_4.json), serial vs continuous-batching decode at widths
-## 8/16/32 (BENCH_5.json), and serving-under-faults latency/SLO/detection
-## with ABFT off/site/all over 8 request streams (BENCH_6.json). Works
-## from a fresh clone: prior BENCH_*.json files are not required, and the
-## final dump tolerates any that are missing.
+## 8/16/32 (BENCH_5.json), serving-under-faults latency/SLO/detection
+## with ABFT off/site/all over 8 request streams (BENCH_6.json), and the
+## observability plane's overhead — spans off vs sampled vs full on both
+## the campaign and serving planes (BENCH_7.json; sampled must stay
+## within 5%). Works from a fresh clone: prior BENCH_*.json files are
+## not required, and the final dump tolerates any that are missing.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
 	BENCH_JSON_OUT=$(CURDIR)/BENCH_2.json $(GO) test -run '^TestEmitBenchJSON$$' -v ./internal/core/
@@ -50,6 +52,7 @@ bench:
 	BENCH4_JSON_OUT=$(CURDIR)/BENCH_4.json $(GO) test -run '^TestEmitTraceBenchJSON$$' -v ./internal/core/
 	BENCH5_JSON_OUT=$(CURDIR)/BENCH_5.json $(GO) test -run '^TestEmitBatchBenchJSON$$' -v ./internal/core/
 	BENCH6_JSON_OUT=$(CURDIR)/BENCH_6.json $(GO) test -run '^TestEmitServeBenchJSON$$' -v ./internal/serve/
+	BENCH7_JSON_OUT=$(CURDIR)/BENCH_7.json $(GO) test -run '^TestEmitObsBenchJSON$$' -v ./internal/serve/
 	@for f in $(CURDIR)/BENCH_*.json; do [ -f "$$f" ] && cat "$$f" || true; done
 
 ## fuzz: short smoke sessions of the fuzz targets (also run in CI).

@@ -87,11 +87,13 @@ import (
 	"repro/internal/mitigate"
 	"repro/internal/model"
 	"repro/internal/numerics"
+	"repro/internal/obs"
 	"repro/internal/pretrained"
 	"repro/internal/report"
 	"repro/internal/serve"
 	"repro/internal/serve/loadgen"
 	"repro/internal/tasks"
+	"repro/internal/trace"
 	"repro/internal/version"
 )
 
@@ -144,7 +146,7 @@ func main() {
 		csvSum    = flag.String("csv-summary", "", "write the aggregate summary to this CSV file")
 		tracePath = flag.String("trace", "", "write sampled propagation traces (JSONL) to this file")
 		traceN    = flag.Int("trace-sample", 16, "with -trace: trace every N-th trial (1 = all)")
-		httpAddr  = flag.String("http", "", "serve /metrics, /healthz, /api/v1/trials and /debug/pprof on this address (e.g. :9090)")
+		httpAddr  = flag.String("http", "", "serve /metrics, /healthz, /api/v1/trials and /debug/pprof on this address (e.g. :9090); with -worker: the worker's own /metrics, advertised to the coordinator's fleet fan-in")
 		coordAddr = flag.String("coordinator", "", "serve as fleet coordinator on this address (e.g. :8080); workers execute the trials")
 		workerURL = flag.String("worker", "", "join the fleet coordinator at this base URL (e.g. http://host:8080) as a worker")
 		workerID  = flag.String("worker-name", "", "with -worker: fixed fleet identity (default: coordinator-assigned)")
@@ -159,6 +161,9 @@ func main() {
 		surfaces  = flag.String("surfaces", "all", "with -serve -inject: comma-separated fault surfaces (linear,kv,norm,embed,attn) or 'all'")
 		leaseN    = flag.Int("lease-trials", 0, "with -coordinator: trial indices per lease (0 = default 16)")
 		leaseTTL  = flag.Duration("lease-ttl", 0, "with -coordinator: lease expiry without worker contact (0 = default 30s)")
+		spansPath = flag.String("spans", "", "export sampled end-to-end spans (JSONL, one span per line) to this file")
+		spanN     = flag.Int("span-sample", 16, "span sampling stride: trace every N-th root (1 = all, 0 = off)")
+		scrapeEv  = flag.Duration("scrape-every", 0, "with -coordinator: worker /metrics scrape interval for the llmfi_fleet_* fan-in (0 = default 2s)")
 		showVer   = flag.Bool("version", false, "print the llmfi version and exit")
 	)
 	flag.Usage = func() {
@@ -259,7 +264,9 @@ func main() {
 				inj.ABFT = &serve.ABFTConfig{Tol: *abftTol, Policy: pol, AllLayers: *abftAll}
 			}
 		}
-		runServe(ctx, m, suite, *serveAddr, *streams, *sloDur, inj)
+		rec, sw := buildRecorder(*spansPath, "serve", *spanN, true)
+		runServe(ctx, m, suite, *serveAddr, *streams, *sloDur, inj, rec)
+		closeSpans(sw, *spansPath, rec)
 		return
 	}
 	if *loadURL != "" {
@@ -271,11 +278,15 @@ func main() {
 	}
 
 	if *coordAddr != "" {
-		runCoordinator(ctx, c, *coordAddr, *ckptPath, *ckptEvery, *leaseN, *leaseTTL, *csvTrials, *csvSum)
+		rec, sw := buildRecorder(*spansPath, "coordinator", *spanN, true)
+		runCoordinator(ctx, c, *coordAddr, *ckptPath, *ckptEvery, *leaseN, *leaseTTL, *csvTrials, *csvSum,
+			rec, sw, *spansPath, *scrapeEv)
 		return
 	}
 	if *workerURL != "" {
-		runWorker(ctx, c, *workerURL, *workerID)
+		rec, sw := buildRecorder(*spansPath, "worker", *spanN, true)
+		runWorker(ctx, c, *workerURL, *workerID, *httpAddr, rec)
+		closeSpans(sw, *spansPath, rec)
 		return
 	}
 
@@ -310,6 +321,31 @@ func main() {
 		}
 		traceW = report.NewTraceWriter(f)
 		ropts = append(ropts, core.WithTrace(*traceN, traceW.Write))
+	}
+
+	// Span export: where -trace captures per-trial fault propagation,
+	// -spans captures end-to-end timing — one trial span per sampled
+	// trial (phase seconds as attributes) under a campaign root span.
+	// The observer is collector-side and read-only, so outcomes stay
+	// bit-identical with it on.
+	rec, spanW := buildRecorder(*spansPath, "campaign", *spanN, false)
+	campStart := time.Now()
+	var campRoot obs.SpanContext
+	if rec.Enabled() {
+		campRoot = rec.StartTrace()
+		root := campRoot
+		ropts = append(ropts, core.WithSpanObserver(func(index int, spans []trace.Span, busy time.Duration) {
+			if !rec.SampleRoot() {
+				return
+			}
+			attrs := make([]obs.Attr, 0, len(spans)+1)
+			attrs = append(attrs, obs.Int("index", int64(index)))
+			for _, ps := range spans {
+				attrs = append(attrs, obs.Num(string(ps.Phase)+"_s", ps.Seconds))
+			}
+			rec.Record(obs.NewSpan(rec.Child(root), root.Span, "trial",
+				time.Now().Add(-busy), busy, attrs...))
+		}))
 	}
 
 	label := fmt.Sprintf("%s/%s/%v", c.Suite.Name, c.Model.Cfg.Name, c.Fault)
@@ -364,6 +400,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "llmfi: wrote %d trace records to %s\n", n, *tracePath)
 		}
 	}
+	if rec.Enabled() {
+		rec.Record(obs.NewSpan(campRoot, "", "campaign", campStart, time.Since(campStart),
+			obs.Str("label", label), obs.Int("trials", int64(c.Trials))))
+	}
+	closeSpans(spanW, *spansPath, rec)
 
 	if *telemetry != "" {
 		if err := writeTelemetry(*telemetry, tel.Snapshot()); err != nil {
@@ -397,13 +438,15 @@ func main() {
 // runCoordinator serves the fleet API on addr and blocks until every
 // trial is merged, then prints the campaign result exactly like a
 // single-process run (the merge is bit-identical).
-func runCoordinator(ctx context.Context, c core.Campaign, addr, ckptPath string, ckptEvery, leaseTrials int, leaseTTL time.Duration, csvTrials, csvSum string) {
+func runCoordinator(ctx context.Context, c core.Campaign, addr, ckptPath string, ckptEvery, leaseTrials int, leaseTTL time.Duration, csvTrials, csvSum string, rec *obs.Recorder, sw *obs.SpanWriter, spansPath string, scrapeEvery time.Duration) {
 	co, err := fabric.NewCoordinator(fabric.CoordinatorConfig{
 		Campaign:        c,
 		LeaseTTL:        leaseTTL,
 		LeaseTrials:     leaseTrials,
 		CheckpointPath:  ckptPath,
 		CheckpointEvery: ckptEvery,
+		Recorder:        rec,
+		ScrapeEvery:     scrapeEvery,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -418,7 +461,8 @@ func runCoordinator(ctx context.Context, c core.Campaign, addr, ckptPath string,
 	hs := &http.Server{Handler: co.Handler()}
 	go hs.Serve(ln)
 	defer hs.Close()
-	fmt.Fprintf(os.Stderr, "llmfi: coordinating %d trials on http://%s (join with -worker)\n", c.Trials, ln.Addr())
+	go co.RunScrapes(ctx)
+	fmt.Fprintf(os.Stderr, "llmfi: coordinating %d trials on http://%s (join with -worker; dashboard at /debug/fleet)\n", c.Trials, ln.Addr())
 
 	res, err := co.Result(ctx)
 	if err != nil {
@@ -426,6 +470,7 @@ func runCoordinator(ctx context.Context, c core.Campaign, addr, ckptPath string,
 			if err := co.Checkpoint(); err != nil {
 				log.Print(err)
 			}
+			closeSpans(sw, spansPath, rec)
 			done, total := co.Done()
 			fmt.Fprintf(os.Stderr, "llmfi: coordinator interrupted with %d/%d trials merged\n", done, total)
 			if ckptPath != "" {
@@ -435,6 +480,7 @@ func runCoordinator(ctx context.Context, c core.Campaign, addr, ckptPath string,
 		}
 		log.Fatal(err)
 	}
+	closeSpans(sw, spansPath, rec)
 	printResult(res)
 	if csvTrials != "" {
 		if err := writeCSV(csvTrials, res, report.WriteTrialsCSV); err != nil {
@@ -449,16 +495,34 @@ func runCoordinator(ctx context.Context, c core.Campaign, addr, ckptPath string,
 }
 
 // runWorker joins the coordinator at url and executes leases until the
-// campaign completes.
-func runWorker(ctx context.Context, c core.Campaign, url, name string) {
-	wk, err := fabric.NewWorker(fabric.WorkerConfig{
+// campaign completes. With httpAddr, the worker serves its own /metrics
+// there and advertises the address at join so the coordinator's fan-in
+// scrapes it into the llmfi_fleet_* families.
+func runWorker(ctx context.Context, c core.Campaign, url, name, httpAddr string, rec *obs.Recorder) {
+	cfg := fabric.WorkerConfig{
 		Campaign:    c,
 		Coordinator: url,
 		Name:        name,
 		Logf:        log.Printf,
-	})
+		Recorder:    rec,
+	}
+	var ln net.Listener
+	if httpAddr != "" {
+		var err error
+		if ln, err = net.Listen("tcp", httpAddr); err != nil {
+			log.Fatal(err)
+		}
+		cfg.HTTPAddr = advertiseURL(ln.Addr())
+	}
+	wk, err := fabric.NewWorker(cfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if ln != nil {
+		hs := &http.Server{Handler: wk.Handler()}
+		go hs.Serve(ln)
+		defer hs.Close()
+		fmt.Fprintf(os.Stderr, "llmfi: worker metrics on %s/metrics\n", cfg.HTTPAddr)
 	}
 	if err := wk.Run(ctx); err != nil {
 		if errors.Is(err, context.Canceled) {
@@ -473,9 +537,10 @@ func runWorker(ctx context.Context, c core.Campaign, url, name string) {
 // continuous-batching engine and blocks until SIGINT, then drains every
 // in-flight request before returning (Engine.Run's graceful-drain
 // contract).
-func runServe(ctx context.Context, m *model.Model, suite *tasks.Suite, addr string, width int, slo time.Duration, inj *serve.InjectConfig) {
+func runServe(ctx context.Context, m *model.Model, suite *tasks.Suite, addr string, width int, slo time.Duration, inj *serve.InjectConfig, rec *obs.Recorder) {
 	e, err := serve.NewEngine(serve.Config{
 		Model: m, Vocab: suite.Vocab, Width: width, SLO: slo, Inject: inj,
+		Recorder: rec,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -494,7 +559,7 @@ func runServe(ctx context.Context, m *model.Model, suite *tasks.Suite, addr stri
 			mode += ", abft armed"
 		}
 	}
-	fmt.Fprintf(os.Stderr, "llmfi: serving %s/generate /healthz /metrics on http://%s (%s; SIGINT drains)\n",
+	fmt.Fprintf(os.Stderr, "llmfi: serving %s/generate /healthz /metrics /debug/fleet on http://%s (%s; SIGINT drains)\n",
 		report.APIVersion, ln.Addr(), mode)
 	if err := e.Run(ctx); err != nil {
 		log.Fatal(err)
@@ -557,6 +622,58 @@ func parseSurfaces(s string) ([]faults.Surface, error) {
 		out = append(out, sf)
 	}
 	return out, nil
+}
+
+// buildRecorder wires -spans/-span-sample into a span recorder for one
+// service. With no -spans file, dashboard-backed modes (ring=true:
+// serve, coordinator, worker) still get an in-memory recorder so
+// /debug/fleet shows recent spans and fleet traces stitch; the offline
+// campaign mode returns a nil (disabled) recorder instead — the default
+// campaign path carries zero tracing overhead.
+func buildRecorder(path, service string, sample int, ring bool) (*obs.Recorder, *obs.SpanWriter) {
+	if path == "" && !ring {
+		return nil, nil
+	}
+	cfg := obs.Config{Service: service, Sample: sample, Recent: 128}
+	var sw *obs.SpanWriter
+	if path != "" {
+		var err error
+		if sw, err = obs.OpenSpans(path); err != nil {
+			log.Fatal(err)
+		}
+		cfg.Sink = sw.Write
+	}
+	return obs.NewRecorder(cfg), sw
+}
+
+// closeSpans flushes the span export file and reports any latched sink
+// error. Safe on a nil writer (no -spans flag).
+func closeSpans(sw *obs.SpanWriter, path string, rec *obs.Recorder) {
+	if sw == nil {
+		return
+	}
+	if err := rec.Err(); err != nil {
+		log.Printf("llmfi: span export: %v", err)
+	}
+	n := sw.Count()
+	if err := sw.Close(); err != nil {
+		log.Print(err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "llmfi: wrote %d spans to %s\n", n, path)
+}
+
+// advertiseURL turns a bound listener address into a base URL other
+// processes can reach; unspecified hosts (":9431") become loopback.
+func advertiseURL(a net.Addr) string {
+	host, port, err := net.SplitHostPort(a.String())
+	if err != nil {
+		return "http://" + a.String()
+	}
+	if ip := net.ParseIP(host); ip == nil || ip.IsUnspecified() {
+		host = "127.0.0.1"
+	}
+	return "http://" + net.JoinHostPort(host, port)
 }
 
 // writeTelemetry dumps the telemetry snapshot as JSON to path.

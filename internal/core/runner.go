@@ -41,6 +41,8 @@ type Runner struct {
 	traceEvery int
 	traceSink  func(trace.Record) error
 	traceTol   float64
+
+	spanObs func(index int, spans []trace.Span, busy time.Duration)
 }
 
 // RunnerOption configures a Runner.
@@ -129,6 +131,18 @@ func WithTraceTol(tol float64) RunnerOption {
 	return func(r *Runner) { r.traceTol = tol }
 }
 
+// WithSpanObserver delivers every completed trial's phase timing spans
+// (the same prefill/decode/abft/classify breakdown the telemetry
+// histograms aggregate) plus its wall-clock busy time to fn, from the
+// collector goroutine in completion order. Observational by
+// construction: the observer sees copies of timing data after the trial
+// outcome is already sealed, so it cannot perturb results — the fleet
+// observability plane (internal/obs) uses it to export per-trial spans
+// without touching the hot path.
+func WithSpanObserver(fn func(index int, spans []trace.Span, busy time.Duration)) RunnerOption {
+	return func(r *Runner) { r.spanObs = fn }
+}
+
 // NewRunner wraps a Campaign in the streaming runtime. Campaign-level
 // checkpoint settings (WithCheckpointPath / WithCheckpointInterval) seed
 // the runner's defaults; RunnerOptions override them.
@@ -196,6 +210,7 @@ type trialResult struct {
 	worker int
 	trial  Trial
 	rec    *trace.Record
+	spans  []trace.Span // phase timings, only filled when an observer is set
 	busy   time.Duration
 	err    error
 }
@@ -406,7 +421,11 @@ func (r *Runner) run(ctx context.Context, emit func(Event)) (*Result, error) {
 					return
 				}
 				r.tel.observeSpans(sp)
-				results <- trialResult{index: t, worker: worker, trial: trial, rec: rec, busy: since(start)}
+				tr := trialResult{index: t, worker: worker, trial: trial, rec: rec, busy: since(start)}
+				if r.spanObs != nil {
+					tr.spans = sp.spans()
+				}
+				results <- tr
 			}
 		}(w)
 	}
@@ -431,6 +450,9 @@ func (r *Runner) run(ctx context.Context, emit func(Event)) (*Result, error) {
 		done++
 		sinceCkpt++
 		r.tel.record(tr.worker, tr.trial, tr.busy)
+		if r.spanObs != nil {
+			r.spanObs(tr.index, tr.spans, tr.busy)
+		}
 		if tr.rec != nil {
 			r.tel.tracedTrial()
 			if r.traceSink != nil {

@@ -329,7 +329,11 @@ func (bw *batchedWorker) retire(f *inFlight) trialResult {
 	// The row's buffers are dead from here: everything retirement needed
 	// has been copied out, so the next admission may reuse them.
 	bw.free = append(bw.free, f.row)
-	return trialResult{index: f.t, worker: bw.worker, trial: trial, rec: rec, busy: f.busy}
+	tr := trialResult{index: f.t, worker: bw.worker, trial: trial, rec: rec, busy: f.busy}
+	if bw.r.spanObs != nil {
+		tr.spans = f.sp.spans()
+	}
+	return tr
 }
 
 // serialFallback runs trial t through the ordinary serial runTrial. Used
@@ -349,5 +353,9 @@ func (bw *batchedWorker) serialFallback(t int) *trialResult {
 		return &trialResult{index: t, worker: bw.worker, err: err}
 	}
 	bw.r.tel.observeSpans(sp)
-	return &trialResult{index: t, worker: bw.worker, trial: trial, rec: rec, busy: since(start)}
+	tr := &trialResult{index: t, worker: bw.worker, trial: trial, rec: rec, busy: since(start)}
+	if bw.r.spanObs != nil {
+		tr.spans = sp.spans()
+	}
+	return tr
 }

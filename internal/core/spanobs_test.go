@@ -1,0 +1,70 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/gen"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/tasks"
+	"repro/internal/trace"
+)
+
+// spanObsCampaign is a small mixed campaign exercising both the serial
+// worker path and (with decode batching) the batched scheduler.
+func spanObsCampaign(t *testing.T, batch int) Campaign {
+	t.Helper()
+	suite := tasks.NewSelfRefSuite("spanobs", 5, 2, 16, 6, []metrics.Kind{metrics.KindBLEU})
+	return New(goldenModel(t, model.QwenS, false), suite, faults.Comp2Bit, 10, 33,
+		WithWorkers(2), WithDecodeBatch(batch), WithGen(gen.Settings{NumBeams: 1}))
+}
+
+// TestSpanObserverGoldenEquivalence: attaching WithSpanObserver must not
+// change a single bit of the campaign Result — the observer is
+// collector-side and read-only. Covered on both the serial and the
+// continuous-batching execution paths.
+func TestSpanObserverGoldenEquivalence(t *testing.T) {
+	for _, batch := range []int{0, 4} {
+		ref, err := NewRunner(spanObsCampaign(t, batch)).Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		var mu sync.Mutex
+		seen := map[int][]trace.Span{}
+		obsRes, err := NewRunner(spanObsCampaign(t, batch),
+			WithSpanObserver(func(index int, spans []trace.Span, busy time.Duration) {
+				mu.Lock()
+				seen[index] = spans
+				mu.Unlock()
+			})).Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if len(ref.Trials) != len(obsRes.Trials) {
+			t.Fatalf("batch=%d: trial counts differ: %d vs %d", batch, len(ref.Trials), len(obsRes.Trials))
+		}
+		for i := range ref.Trials {
+			if !reflect.DeepEqual(ref.Trials[i], obsRes.Trials[i]) {
+				t.Fatalf("batch=%d: trial %d changed under the span observer:\nplain    %+v\nobserved %+v",
+					batch, i, ref.Trials[i], obsRes.Trials[i])
+			}
+		}
+
+		// Every trial was observed, with phase timing spans attached.
+		if len(seen) != len(ref.Trials) {
+			t.Fatalf("batch=%d: observer saw %d trials, want %d", batch, len(seen), len(ref.Trials))
+		}
+		for idx, spans := range seen {
+			if len(spans) == 0 {
+				t.Fatalf("batch=%d: trial %d observed with no phase spans", batch, idx)
+			}
+		}
+	}
+}

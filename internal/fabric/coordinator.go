@@ -6,10 +6,12 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/version"
 )
@@ -35,6 +37,12 @@ type leaseRec struct {
 	worker  string
 	indices []int
 	expires time.Time
+	// granted / ctx are observability-only: when the coordinator traces,
+	// every lease gets a span context (child of the campaign root) that
+	// rides the lease response's traceparent header to the worker, and a
+	// "lease" span covering granted→retire/expire.
+	granted time.Time
+	ctx     obs.SpanContext
 }
 
 // workerRec tracks one fleet member.
@@ -68,6 +76,15 @@ type CoordinatorConfig struct {
 	CheckpointEvery int
 	// Clock overrides wall-clock reads (test seam; default time.Now).
 	Clock func() time.Time
+	// Recorder, when non-nil and enabled, records coordinator-side spans
+	// (campaign root + per-lease lifecycle) whose trace context is
+	// propagated to workers over the lease response's traceparent header.
+	Recorder *obs.Recorder
+	// ScrapeEvery is the worker /metrics fan-in interval used by
+	// RunScrapes (default 2s).
+	ScrapeEvery time.Duration
+	// ScrapeClient overrides the fan-in's HTTP client (test seam).
+	ScrapeClient *http.Client
 }
 
 // Coordinator owns a campaign's trial-index space and merges worker
@@ -93,6 +110,10 @@ type Coordinator struct {
 	sinceCkpt  int
 	finished   chan struct{}
 	restored   int
+
+	fan      *obs.FanIn
+	root     obs.SpanContext // campaign trace root (zero when untraced)
+	stitched int             // result submissions carrying lease trace context
 }
 
 // NewCoordinator validates the campaign, restores a checkpoint when one
@@ -122,6 +143,17 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	}
 	if co.now == nil {
 		co.now = time.Now
+	}
+	if cfg.ScrapeEvery <= 0 {
+		cfg.ScrapeEvery = 2 * time.Second
+		co.cfg.ScrapeEvery = cfg.ScrapeEvery
+	}
+	co.fan = obs.NewFanIn(cfg.ScrapeClient)
+	if cfg.Recorder.SampleRoot() {
+		// The whole distributed campaign is one trace: the root span
+		// spans coordinator start → last merge, and every lease is a
+		// child whose context workers continue.
+		co.root = cfg.Recorder.StartTrace()
 	}
 	co.start = co.now()
 	if cfg.CheckpointPath != "" {
@@ -183,7 +215,30 @@ func (co *Coordinator) Handler() http.Handler {
 	})
 	mux.HandleFunc("/metrics", co.handleMetrics)
 	mux.HandleFunc("/healthz", co.handleHealthz)
+	mux.HandleFunc("/debug/fleet", obs.DashboardHandler(co.dashboardData))
 	return mux
+}
+
+// FanIn exposes the coordinator's worker-metrics aggregator.
+func (co *Coordinator) FanIn() *obs.FanIn { return co.fan }
+
+// RunScrapes runs the worker /metrics fan-in loop until ctx is done.
+// Start it in its own goroutine next to the HTTP server.
+func (co *Coordinator) RunScrapes(ctx context.Context) {
+	co.fan.Run(ctx, co.cfg.ScrapeEvery)
+}
+
+// recordLeaseSpanLocked emits the lease-lifecycle span (grant →
+// retire/expire). Callers hold co.mu; the recorder has its own lock.
+func (co *Coordinator) recordLeaseSpanLocked(l *leaseRec, now time.Time, outcome string) {
+	if !l.ctx.Valid() {
+		return
+	}
+	co.cfg.Recorder.Record(obs.NewSpan(l.ctx, co.root.Span, "lease",
+		l.granted, now.Sub(l.granted),
+		obs.Str("worker", l.worker),
+		obs.Int("trials", int64(len(l.indices))),
+		obs.Str("outcome", outcome)))
 }
 
 // Result blocks until every trial is merged (or ctx is cancelled),
@@ -230,6 +285,7 @@ func (co *Coordinator) sweepLocked(now time.Time) {
 				returned++
 			}
 		}
+		co.recordLeaseSpanLocked(l, now, "expired")
 		co.dropLeaseLocked(id, l)
 		if returned > 0 {
 			co.reissued++
@@ -268,6 +324,10 @@ func (co *Coordinator) grantLocked(w *workerRec, max int, now time.Time) *leaseR
 		worker:  w.name,
 		indices: indices,
 		expires: now.Add(co.cfg.LeaseTTL),
+		granted: now,
+	}
+	if co.root.Valid() {
+		l.ctx = co.cfg.Recorder.Child(co.root)
 	}
 	co.leases[l.id] = l
 	w.leases[l.id] = l
@@ -327,6 +387,9 @@ func (co *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
 		LeaseTrials: co.cfg.LeaseTrials,
 	}
 	co.mu.Unlock()
+	// Fan-in registration rides the join: a worker advertising an
+	// observability address gets its /metrics scraped from now on.
+	co.fan.Register(name, req.HTTPAddr)
 	writeJSON(w, resp)
 }
 
@@ -354,6 +417,7 @@ func (co *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 		max = req.Max
 	}
 	resp := LeaseResponse{Schema: SchemaVersion}
+	var leaseCtx obs.SpanContext
 	switch l := co.grantLocked(wr, max, now); {
 	case l != nil:
 		resp.Lease = &Lease{
@@ -361,12 +425,19 @@ func (co *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 			Indices: append([]int(nil), l.indices...),
 			TTLMs:   co.cfg.LeaseTTL.Milliseconds(),
 		}
+		leaseCtx = l.ctx
 	case co.done == len(co.state):
 		resp.Done = true
 	default:
 		resp.Wait = true
 	}
 	co.mu.Unlock()
+	if leaseCtx.Valid() {
+		// The lease's trace context rides a traceparent header: workers
+		// that trace continue it (the coordinator/worker stitch), others
+		// ignore it — the JSON payload is unchanged either way.
+		w.Header().Set(obs.TraceparentHeader, leaseCtx.Traceparent())
+	}
 	writeJSON(w, resp)
 }
 
@@ -377,6 +448,14 @@ func (co *Coordinator) handleResults(w http.ResponseWriter, r *http.Request) {
 	}
 	if !co.checkSchema(w, req.Schema) {
 		return
+	}
+	// Trace context is advisory: a malformed, missing, or foreign
+	// traceparent header is ignored, never an error. A valid one in the
+	// coordinator's own trace counts as a stitched submission and is
+	// echoed back so the worker sees the round-trip.
+	incoming, hasTP := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader))
+	if hasTP {
+		w.Header().Set(obs.TraceparentHeader, incoming.Traceparent())
 	}
 	for _, tr := range req.Trials {
 		if tr.Index < 0 || tr.Index >= len(co.state) {
@@ -389,6 +468,9 @@ func (co *Coordinator) handleResults(w http.ResponseWriter, r *http.Request) {
 	co.mu.Lock()
 	now := co.now()
 	co.sweepLocked(now)
+	if hasTP && incoming.Trace == co.root.Trace && co.root.Valid() {
+		co.stitched++
+	}
 	// Results are merged even from workers the coordinator no longer
 	// knows (restart) or whose lease expired (slow worker racing its
 	// reissue): correctness is index-keyed, and a finished trial is a
@@ -411,7 +493,7 @@ func (co *Coordinator) handleResults(w http.ResponseWriter, r *http.Request) {
 			wr.trials++
 		}
 	}
-	co.retireLeasesLocked()
+	co.retireLeasesLocked(now)
 	var ckptErr error
 	co.sinceCkpt += resp.Accepted
 	allDone := co.done == len(co.state)
@@ -424,6 +506,15 @@ func (co *Coordinator) handleResults(w http.ResponseWriter, r *http.Request) {
 		case <-co.finished:
 		default:
 			close(co.finished)
+			// The campaign root span seals once, on the submission that
+			// merged the last trial.
+			if co.root.Valid() {
+				co.cfg.Recorder.Record(obs.NewSpan(co.root, "", "campaign",
+					co.start, now.Sub(co.start),
+					obs.Int("trials", int64(len(co.state))),
+					obs.Int("workers", int64(len(co.workers))),
+					obs.Int("stitched_results", int64(co.stitched))))
+			}
 		}
 		resp.Done = true
 	}
@@ -438,7 +529,7 @@ func (co *Coordinator) handleResults(w http.ResponseWriter, r *http.Request) {
 
 // retireLeasesLocked drops leases whose every index is done, so the
 // status report's outstanding counts reflect real in-flight work.
-func (co *Coordinator) retireLeasesLocked() {
+func (co *Coordinator) retireLeasesLocked(now time.Time) {
 	for id, l := range co.leases {
 		live := false
 		for _, t := range l.indices {
@@ -448,6 +539,7 @@ func (co *Coordinator) retireLeasesLocked() {
 			}
 		}
 		if !live {
+			co.recordLeaseSpanLocked(l, now, "completed")
 			co.dropLeaseLocked(id, l)
 		}
 	}
@@ -498,6 +590,7 @@ func (co *Coordinator) Status() StatusResponse {
 		Done:            co.done,
 		ReissuedLeases:  co.reissued,
 		DuplicateTrials: co.duplicates,
+		StitchedResults: co.stitched,
 		Finished:        co.done == len(co.state),
 		ElapsedSec:      now.Sub(co.start).Seconds(),
 	}
@@ -536,8 +629,44 @@ func (co *Coordinator) Status() StatusResponse {
 }
 
 func (co *Coordinator) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Header().Set("Content-Type", report.ContentTypeMetrics)
+	_ = report.WriteBuildInfoText(w, SchemaVersion)
 	_ = WriteFleetMetricsText(w, co.Status())
+	// The aggregated worker series (llmfi_fleet_*) render after the
+	// coordinator's own fabric families.
+	_ = co.fan.WriteText(w)
+}
+
+// dashboardData gathers the live fleet view for /debug/fleet.
+func (co *Coordinator) dashboardData() obs.DashboardData {
+	s := co.Status()
+	fleet := obs.DashboardSection{Title: "campaign", Rows: [][2]string{
+		{"trials", fmt.Sprintf("%d / %d done", s.Done, s.Trials)},
+		{"outstanding", fmt.Sprintf("%d trials in %d leases", s.OutstandingTrials, s.OutstandingLeases)},
+		{"reissued leases", fmt.Sprintf("%d", s.ReissuedLeases)},
+		{"duplicate trials", fmt.Sprintf("%d", s.DuplicateTrials)},
+		{"stitched results", fmt.Sprintf("%d", s.StitchedResults)},
+		{"throughput", fmt.Sprintf("%.1f trials/s", s.TrialsPerSec)},
+	}}
+	workers := obs.DashboardSection{Title: "workers"}
+	for _, ws := range s.Workers {
+		workers.Rows = append(workers.Rows, [2]string{
+			ws.Worker,
+			fmt.Sprintf("%d trials, %.1f/s, %d outstanding, seen %.1fs ago",
+				ws.Trials, ws.TrialsPerSec, ws.OutstandingTrials, ws.LastSeenSec),
+		})
+	}
+	var metrics strings.Builder
+	_ = report.WriteBuildInfoText(&metrics, SchemaVersion)
+	_ = WriteFleetMetricsText(&metrics, s)
+	_ = co.fan.WriteText(&metrics)
+	return obs.DashboardData{
+		Title:    "llmfi fleet",
+		Version:  version.Version,
+		Sections: []obs.DashboardSection{fleet, workers},
+		Metrics:  metrics.String(),
+		Spans:    co.cfg.Recorder.Recent(32),
+	}
 }
 
 func (co *Coordinator) handleHealthz(w http.ResponseWriter, _ *http.Request) {

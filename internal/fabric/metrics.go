@@ -32,6 +32,7 @@ func WriteFleetMetricsText(w io.Writer, s StatusResponse) error {
 	gauge("llmfi_fabric_leases_outstanding", "Live leases across the fleet.", float64(s.OutstandingLeases))
 	counter("llmfi_fabric_leases_reissued_total", "Leases expired past their TTL and returned to the pool.", float64(s.ReissuedLeases))
 	counter("llmfi_fabric_duplicate_trials_total", "Submitted trials discarded by index-keyed dedup.", float64(s.DuplicateTrials))
+	counter("llmfi_fabric_stitched_results_total", "Result submissions carrying the lease's trace context (coordinator/worker trace stitch).", float64(s.StitchedResults))
 	gauge("llmfi_fabric_workers", "Workers that have joined the fleet.", float64(len(s.Workers)))
 	gauge("llmfi_fabric_trials_per_second", "Fleet-wide merge throughput (restored trials excluded).", s.TrialsPerSec)
 	gauge("llmfi_fabric_elapsed_seconds", "Wall time since the coordinator started.", s.ElapsedSec)

@@ -24,8 +24,9 @@ import (
 // SchemaVersion is the fabric wire-API schema. Every request and
 // response carries it; a coordinator refuses joins from workers
 // speaking a different schema. Bump it together with any change to the
-// wire structs below.
-const SchemaVersion = 1
+// wire structs below. (v2: JoinRequest.HTTPAddr for the coordinator's
+// metrics fan-in.)
+const SchemaVersion = 2
 
 // The versioned endpoint paths. Join performs the fleet handshake
 // (schema + binary version + campaign fingerprint), Lease hands out
@@ -52,6 +53,12 @@ type JoinRequest struct {
 	// Worker, when non-empty, rejoins under an existing identity (after
 	// a connection loss or a coordinator restart).
 	Worker string `json:"worker,omitempty"`
+	// HTTPAddr, when non-empty, is the base URL of the worker's own
+	// observability surface (its -http listener). The coordinator
+	// scrapes <HTTPAddr>/metrics on an interval and re-exports the
+	// series as aggregated llmfi_fleet_* metrics. Optional: workers
+	// without a listener simply stay out of the fan-in.
+	HTTPAddr string `json:"http_addr,omitempty"`
 }
 
 // JoinResponse accepts a worker into the fleet.
@@ -161,7 +168,11 @@ type StatusResponse struct {
 	ReissuedLeases int `json:"reissued_leases"`
 	// DuplicateTrials counts submissions discarded by index-keyed
 	// dedup (the cost of reissue, never a correctness problem).
-	DuplicateTrials int            `json:"duplicate_trials"`
+	DuplicateTrials int `json:"duplicate_trials"`
+	// StitchedResults counts result submissions that carried the trace
+	// context the coordinator issued with the lease — i.e. worker spans
+	// that stitch to a coordinator-side trace.
+	StitchedResults int            `json:"stitched_results,omitempty"`
 	Finished        bool           `json:"finished"`
 	ElapsedSec      float64        `json:"elapsed_seconds"`
 	TrialsPerSec    float64        `json:"trials_per_sec"`

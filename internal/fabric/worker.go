@@ -9,10 +9,13 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/report"
+	"repro/internal/trace"
 	"repro/internal/version"
 )
 
@@ -52,6 +55,14 @@ type WorkerConfig struct {
 	SubmitEvery int
 	// Logf, when set, receives progress lines (log.Printf-compatible).
 	Logf func(format string, args ...any)
+	// HTTPAddr, when set, is the base URL of this worker's own
+	// observability listener (serve Handler() there). It is advertised
+	// at join so the coordinator's fan-in scrapes it.
+	HTTPAddr string
+	// Recorder, when non-nil and enabled, records worker-side spans
+	// (lease execution + per-trial phase spans) continuing the trace
+	// context the coordinator propagates on lease responses.
+	Recorder *obs.Recorder
 }
 
 // Worker executes leased trial-index ranges through the core runtime
@@ -63,6 +74,22 @@ type Worker struct {
 	name     string
 	baseline *core.Baseline
 	executed int
+
+	// leaseCtx is the trace context of the current lease, captured from
+	// the coordinator's traceparent response header and echoed on result
+	// submissions. recvTP holds the most recent response's traceparent
+	// (zero when absent/malformed). Run is single-goroutine, so plain
+	// fields suffice.
+	leaseCtx obs.SpanContext
+	recvTP   obs.SpanContext
+
+	// Self-metrics for the worker's own /metrics surface. The campaign
+	// telemetry registry resets per runner run (per lease), so lease-
+	// lifetime counters live here as plain atomics instead.
+	selfLeases     atomic.Int64
+	selfTrials     atomic.Int64
+	selfSubmits    atomic.Int64
+	selfDuplicates atomic.Int64
 }
 
 // NewWorker validates the configuration and returns a worker ready to
@@ -96,6 +123,39 @@ func (w *Worker) Name() string { return w.name }
 // Executed returns the number of trials this worker has submitted.
 func (w *Worker) Executed() int { return w.executed }
 
+// Handler returns the worker's own observability surface: /metrics
+// (self-counters in Prometheus text format, the series the
+// coordinator's fan-in scrapes and re-exports as llmfi_fleet_*) and
+// /healthz. Serve it on the address advertised via WorkerConfig.HTTPAddr.
+func (w *Worker) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", w.handleMetrics)
+	mux.HandleFunc("/healthz", func(rw http.ResponseWriter, _ *http.Request) {
+		writeJSON(rw, struct {
+			Status string `json:"status"`
+			Worker string `json:"worker"`
+			Trials int64  `json:"trials"`
+		}{Status: "ok", Worker: w.name, Trials: w.selfTrials.Load()})
+	})
+	return mux
+}
+
+func (w *Worker) handleMetrics(rw http.ResponseWriter, _ *http.Request) {
+	rw.Header().Set("Content-Type", report.ContentTypeMetrics)
+	_ = report.WriteBuildInfoText(rw, SchemaVersion)
+	// The llmfi_worker_self_* prefix keeps these distinct from the
+	// campaign telemetry's llmfi_worker_* (pool workers) and the
+	// coordinator's llmfi_fabric_worker_* (fleet view) families.
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(rw, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("llmfi_worker_self_leases_total", "Leases this worker has executed.", w.selfLeases.Load())
+	counter("llmfi_worker_self_trials_total", "Trials this worker has completed and submitted.", w.selfTrials.Load())
+	counter("llmfi_worker_self_submits_total", "Result submissions posted to the coordinator.", w.selfSubmits.Load())
+	counter("llmfi_worker_self_duplicates_total", "Submitted trials the coordinator discarded as duplicates.", w.selfDuplicates.Load())
+	counter("llmfi_worker_self_spans_total", "Spans recorded by this worker's recorder.", int64(w.cfg.Recorder.Count()))
+}
+
 // Run joins the fleet and works leases until the campaign completes
 // (returns nil), ctx is cancelled, or the coordinator permanently
 // rejects the worker (mismatched schema/version/fingerprint).
@@ -105,7 +165,7 @@ func (w *Worker) Run(ctx context.Context) error {
 	}
 	for {
 		var resp LeaseResponse
-		err := w.post(ctx, PathLease, LeaseRequest{Schema: SchemaVersion, Worker: w.name}, &resp)
+		err := w.post(ctx, PathLease, obs.SpanContext{}, LeaseRequest{Schema: SchemaVersion, Worker: w.name}, &resp)
 		var re *RemoteError
 		switch {
 		case errors.As(err, &re) && re.Code == "unknown_worker":
@@ -121,6 +181,10 @@ func (w *Worker) Run(ctx context.Context) error {
 			w.cfg.Logf("fabric worker %s: campaign complete (%d trials executed here)", w.name, w.executed)
 			return nil
 		case resp.Lease != nil:
+			// The coordinator propagates its lease span's trace context on
+			// the response header; adopting it here is what stitches this
+			// worker's spans into the coordinator-side trace.
+			w.leaseCtx = w.recvTP
 			if err := w.execute(ctx, resp.Lease); err != nil {
 				return err
 			}
@@ -145,9 +209,10 @@ func (w *Worker) join(ctx context.Context) error {
 		Version:     version.Version,
 		Fingerprint: w.cfg.Campaign.Fingerprint(),
 		Worker:      w.name,
+		HTTPAddr:    w.cfg.HTTPAddr,
 	}
 	var resp JoinResponse
-	if err := w.post(ctx, PathJoin, req, &resp); err != nil {
+	if err := w.post(ctx, PathJoin, obs.SpanContext{}, req, &resp); err != nil {
 		return err
 	}
 	w.name = resp.Worker
@@ -161,6 +226,7 @@ func (w *Worker) join(ctx context.Context) error {
 // server-side, so a healthy worker never loses a lease mid-run.
 func (w *Worker) execute(ctx context.Context, l *Lease) error {
 	w.cfg.Logf("fabric worker %s: lease %d — %d trials", w.name, l.ID, len(l.Indices))
+	w.selfLeases.Add(1)
 	// The worker must not write the campaign's own checkpoint: trial
 	// persistence is the coordinator's job, and two workers sharing a
 	// path would clobber each other. WithCheckpoint("") clears any
@@ -168,6 +234,26 @@ func (w *Worker) execute(ctx context.Context, l *Lease) error {
 	opts := []core.RunnerOption{core.WithOnly(l.Indices), core.WithCheckpoint("")}
 	if w.baseline != nil {
 		opts = append(opts, core.WithBaseline(w.baseline))
+	}
+	rec := w.cfg.Recorder
+	traced := rec.SampleRoot()
+	var execCtx obs.SpanContext
+	start := time.Now()
+	if traced {
+		// Child of the coordinator's lease span when the lease response
+		// carried one; a fresh worker-local root otherwise. Either way the
+		// observer below only reads phase timings the runner already
+		// produced — it cannot feed anything back into trial outcomes.
+		execCtx = rec.Child(w.leaseCtx)
+		opts = append(opts, core.WithSpanObserver(func(index int, spans []trace.Span, busy time.Duration) {
+			attrs := make([]obs.Attr, 0, len(spans)+1)
+			attrs = append(attrs, obs.Int("index", int64(index)))
+			for _, ps := range spans {
+				attrs = append(attrs, obs.Num(string(ps.Phase)+"_s", ps.Seconds))
+			}
+			rec.Record(obs.NewSpan(rec.Child(execCtx), execCtx.Span, "trial",
+				time.Now().Add(-busy), busy, attrs...))
+		}))
 	}
 	r := core.NewRunner(w.cfg.Campaign, opts...)
 	batch := make([]TrialResult, 0, w.cfg.SubmitEvery)
@@ -177,6 +263,7 @@ func (w *Worker) execute(ctx context.Context, l *Lease) error {
 		case core.BaselineReady:
 			w.baseline = e.Baseline
 		case core.TrialDone:
+			w.selfTrials.Add(1)
 			batch = append(batch, TrialResult{Index: e.Index, Trial: e.Trial})
 			if len(batch) >= w.cfg.SubmitEvery {
 				if err := w.submit(ctx, l.ID, batch); err != nil {
@@ -195,7 +282,19 @@ func (w *Worker) execute(ctx context.Context, l *Lease) error {
 		return err
 	}
 	if len(batch) > 0 {
-		return w.submit(ctx, l.ID, batch)
+		if err := w.submit(ctx, l.ID, batch); err != nil {
+			return err
+		}
+	}
+	if traced {
+		var parent string
+		if w.leaseCtx.Valid() {
+			parent = w.leaseCtx.Span
+		}
+		rec.Record(obs.NewSpan(execCtx, parent, "lease_execute", start, time.Since(start),
+			obs.Str("worker", w.name),
+			obs.Int("lease", int64(l.ID)),
+			obs.Int("trials", int64(len(l.Indices)))))
 	}
 	return nil
 }
@@ -211,10 +310,14 @@ func (w *Worker) submit(ctx context.Context, lease uint64, trials []TrialResult)
 		Trials: trials,
 	}
 	var resp ResultsResponse
-	if err := w.post(ctx, PathResults, req, &resp); err != nil {
+	// Echoing the lease's trace context on the submission is what lets
+	// the coordinator count this result as stitched to its trace.
+	if err := w.post(ctx, PathResults, w.leaseCtx, req, &resp); err != nil {
 		return err
 	}
 	w.executed += len(trials)
+	w.selfSubmits.Add(1)
+	w.selfDuplicates.Add(int64(resp.Duplicates))
 	if resp.Duplicates > 0 {
 		w.cfg.Logf("fabric worker %s: %d of %d submitted trials were duplicates (lease reissue race)",
 			w.name, resp.Duplicates, len(trials))
@@ -224,15 +327,17 @@ func (w *Worker) submit(ctx context.Context, lease uint64, trials []TrialResult)
 
 // post sends one JSON request and decodes the response, retrying
 // transport failures and 5xx responses with exponential backoff until
-// ctx is cancelled. Status < 500 envelopes return as *RemoteError.
-func (w *Worker) post(ctx context.Context, path string, req, resp any) error {
+// ctx is cancelled. Status < 500 envelopes return as *RemoteError. A
+// valid tp is attached as a traceparent request header; the response's
+// traceparent (if any) lands in w.recvTP.
+func (w *Worker) post(ctx context.Context, path string, tp obs.SpanContext, req, resp any) error {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return err
 	}
 	backoff := 250 * time.Millisecond
 	for {
-		err := w.postOnce(ctx, path, body, resp)
+		err := w.postOnce(ctx, path, tp, body, resp)
 		var re *RemoteError
 		if err == nil || (errors.As(err, &re) && re.Status < 500) {
 			return err
@@ -252,17 +357,21 @@ func (w *Worker) post(ctx context.Context, path string, req, resp any) error {
 	}
 }
 
-func (w *Worker) postOnce(ctx context.Context, path string, body []byte, resp any) error {
+func (w *Worker) postOnce(ctx context.Context, path string, tp obs.SpanContext, body []byte, resp any) error {
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, w.cfg.Coordinator+path, bytes.NewReader(body))
 	if err != nil {
 		return err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	if tp.Valid() {
+		hreq.Header.Set(obs.TraceparentHeader, tp.Traceparent())
+	}
 	hres, err := w.cfg.Client.Do(hreq)
 	if err != nil {
 		return err
 	}
 	defer hres.Body.Close()
+	w.recvTP, _ = obs.ParseTraceparent(hres.Header.Get(obs.TraceparentHeader))
 	data, err := io.ReadAll(io.LimitReader(hres.Body, 8<<20))
 	if err != nil {
 		return err

@@ -18,6 +18,7 @@ var corpusCases = []struct {
 	{"determinism", "determinism", true},
 	{"hookpurity", "hookpurity", true},
 	{"hookpurity_serve", "hookpurity", false},
+	{"hookpurity_obs", "hookpurity", false},
 	{"cowwrite", "cowwrite", true},
 	{"checksumwidth", "checksumwidth", true},
 	{"checksumwidth_abft", "checksumwidth", false},

@@ -19,6 +19,11 @@ var deterministicScope = []string{
 	"internal/model",
 	"internal/experiments",
 	"internal/abft",
+	// The observability plane is observational by construction: it never
+	// feeds values back into outcomes, but it runs on the hot path, so
+	// clock access must stay behind annotated seams and its aggregation
+	// must not depend on map order.
+	"internal/obs",
 }
 
 // AnalyzerDeterminism flags nondeterminism sources in the campaign hot

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
@@ -105,13 +106,99 @@ func (p *Pass) checkHookBody(body *ast.BlockStmt, hc hookCtx) {
 			for _, lhs := range n.Lhs {
 				p.checkHookWrite(lhs, hc)
 			}
+			if len(n.Lhs) == len(n.Rhs) {
+				for i, rhs := range n.Rhs {
+					p.checkHookAlias(n.Lhs[i], rhs, hc)
+				}
+			}
 		case *ast.IncDecStmt:
 			p.checkHookWrite(n.X, hc)
+		case *ast.SendStmt:
+			if name, ok := p.rowAlias(n.Value, hc); ok {
+				p.Reportf(n.Value.Pos(), "hook sends an alias of its %s row on a channel: copy the data first — a retained alias lets later forward passes mutate the recorded observation", name)
+			}
 		case *ast.CallExpr:
 			p.checkHookCall(n)
 		}
 		return true
 	})
+}
+
+// checkHookAlias flags a store that smuggles an alias of the hook's
+// activation row (out, or a checker's in) into memory that outlives the
+// call — a struct field, map/slice element, or pointer target. Span
+// attributes and telemetry records built inside hooks are the motivating
+// case: the recorded "observation" would silently change when a later
+// forward pass reuses the row's backing array. Copying the data
+// (append([]float32(nil), out...)) is always legal.
+func (p *Pass) checkHookAlias(lhs, rhs ast.Expr, hc hookCtx) {
+	name, ok := p.rowAlias(rhs, hc)
+	if !ok || !escapingTarget(lhs) {
+		return
+	}
+	p.Reportf(rhs.Pos(), "hook stores an alias of its %s row into escaping state: copy the data (append([]float32(nil), row...)) — a retained alias lets later forward passes mutate the recorded observation", name)
+}
+
+// rowAlias reports whether e evaluates to something sharing the backing
+// array of the hook's out (or checker's in) parameter: the bare ident, a
+// reslice of it, a composite literal or append retaining one, or its
+// address. Element reads (out[i], float copies) and spreads
+// (append(dst, out...) copies float32 values) are not aliases.
+func (p *Pass) rowAlias(e ast.Expr, hc hookCtx) (string, bool) {
+	switch x := e.(type) {
+	case *ast.Ident:
+		obj := p.objOf(x)
+		if obj == nil {
+			return "", false
+		}
+		if obj == hc.out {
+			return "output", true
+		}
+		if hc.in != nil && obj == hc.in {
+			return "input", true
+		}
+	case *ast.ParenExpr:
+		return p.rowAlias(x.X, hc)
+	case *ast.SliceExpr:
+		return p.rowAlias(x.X, hc)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return p.rowAlias(x.X, hc)
+		}
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			if name, ok := p.rowAlias(el, hc); ok {
+				return name, true
+			}
+		}
+	case *ast.CallExpr:
+		// append(dst, row) retains the slice header; append(dst, row...)
+		// copies float32 elements and is the sanctioned escape hatch.
+		if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "append" && x.Ellipsis == token.NoPos {
+			for _, arg := range x.Args[1:] {
+				if name, ok := p.rowAlias(arg, hc); ok {
+					return name, true
+				}
+			}
+		}
+	}
+	return "", false
+}
+
+// escapingTarget reports whether a store target outlives the hook call:
+// a field, element, or pointer dereference. A plain local (row := out)
+// stays in the frame and is the idiomatic way to name the row.
+func escapingTarget(lhs ast.Expr) bool {
+	switch x := lhs.(type) {
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	case *ast.ParenExpr:
+		return escapingTarget(x.X)
+	}
+	return false
 }
 
 // checkHookWrite flags a store whose target is model-reachable or the

@@ -1,0 +1,15 @@
+package obs
+
+import "time"
+
+// The observability plane's only wall-clock access. Spans carry
+// timestamps and durations for humans and dashboards; none of these
+// values flow back into sampling, decoding, or classification, so the
+// clock cannot perturb campaign results. Keeping the reads behind one
+// seam lets the determinism analyzer cover the rest of the package.
+
+//llmfi:allow determinism telemetry-only clock seam; span timings never reach trial outcomes
+func now() time.Time { return time.Now() }
+
+//llmfi:allow determinism telemetry-only clock seam; span timings never reach trial outcomes
+func since(t time.Time) time.Duration { return time.Since(t) }

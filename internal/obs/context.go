@@ -1,0 +1,81 @@
+package obs
+
+import "strings"
+
+// TraceparentHeader is the HTTP header that carries trace context over
+// the /api/v1 wire, modeled on the W3C Trace Context `traceparent`
+// field: `00-<32 hex trace-id>-<16 hex span-id>-<2 hex flags>`.
+// Go's http canonicalizes header names, so the constant's case is
+// cosmetic; parsing is case-insensitive by construction.
+const TraceparentHeader = "Traceparent"
+
+// SpanContext identifies a position in a trace: the end-to-end trace ID
+// plus the span that is the current parent. The zero value is "no
+// context" and is invalid.
+type SpanContext struct {
+	Trace string // 32 lowercase hex digits
+	Span  string // 16 lowercase hex digits
+}
+
+// Valid reports whether the context carries well-formed, non-zero IDs.
+func (c SpanContext) Valid() bool {
+	return isHex(c.Trace, 32) && isHex(c.Span, 16) &&
+		!allZero(c.Trace) && !allZero(c.Span)
+}
+
+// Traceparent renders the context as a traceparent header value. The
+// sampled flag is always 01: llmfi only propagates contexts it intends
+// to record.
+func (c SpanContext) Traceparent() string {
+	return "00-" + c.Trace + "-" + c.Span + "-01"
+}
+
+// ParseTraceparent parses a traceparent header value. Malformed,
+// missing, or foreign-version values yield ok=false; callers must treat
+// that as "no context" and continue — trace context is advisory and can
+// never fail a request.
+func ParseTraceparent(h string) (SpanContext, bool) {
+	h = strings.TrimSpace(strings.ToLower(h))
+	// 2 + 1 + 32 + 1 + 16 + 1 + 2
+	if len(h) != 55 {
+		return SpanContext{}, false
+	}
+	if h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return SpanContext{}, false
+	}
+	ver, tr, sp, flags := h[:2], h[3:35], h[36:52], h[53:]
+	// Only version 00 is understood; future versions may change the
+	// field layout, so refuse rather than guess.
+	if ver != "00" {
+		return SpanContext{}, false
+	}
+	if !isHex(flags, 2) || !isHex(tr, 32) || !isHex(sp, 16) {
+		return SpanContext{}, false
+	}
+	if allZero(tr) || allZero(sp) {
+		return SpanContext{}, false
+	}
+	return SpanContext{Trace: tr, Span: sp}, true
+}
+
+func isHex(s string, n int) bool {
+	if len(s) != n {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func allZero(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '0' {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"html/template"
+	"net/http"
+)
+
+// DashboardSection is one key/value block on the dashboard.
+type DashboardSection struct {
+	Title string
+	Rows  [][2]string
+}
+
+// DashboardData is everything the /debug/fleet page renders. Metrics is
+// a preformatted Prometheus text block; Spans are the most recent
+// recorded spans, newest first.
+type DashboardData struct {
+	Title    string
+	Version  string
+	Sections []DashboardSection
+	Metrics  string
+	Spans    []Span
+}
+
+// dashboardTmpl is a zero-dependency live view: plain html/template,
+// inline CSS, meta-refresh instead of JavaScript, so it works from curl
+// or any browser with nothing to install.
+var dashboardTmpl = template.Must(template.New("fleet").Parse(`<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta http-equiv="refresh" content="2">
+<title>{{.Title}}</title>
+<style>
+body { font-family: ui-monospace, monospace; margin: 1.5rem; background: #101418; color: #d8dee6; }
+h1 { font-size: 1.2rem; } h2 { font-size: 1rem; margin-top: 1.4rem; color: #8fb4d8; }
+table { border-collapse: collapse; }
+td, th { padding: 2px 10px; border-bottom: 1px solid #2a3240; text-align: left; font-size: 0.85rem; }
+th { color: #8fb4d8; }
+pre { background: #161c24; padding: 0.8rem; overflow-x: auto; font-size: 0.8rem; }
+.ver { color: #6a7684; font-size: 0.8rem; }
+.trace { color: #9a86c8; }
+</style>
+</head>
+<body>
+<h1>{{.Title}} <span class="ver">llmfi {{.Version}} · auto-refresh 2s</span></h1>
+{{range .Sections}}<h2>{{.Title}}</h2>
+<table>{{range .Rows}}<tr><td>{{index . 0}}</td><td>{{index . 1}}</td></tr>
+{{end}}</table>
+{{end}}{{if .Spans}}<h2>recent spans (newest first)</h2>
+<table>
+<tr><th>trace</th><th>service</th><th>name</th><th>seconds</th><th>count</th><th>attrs</th></tr>
+{{range .Spans}}<tr><td class="trace">{{.Trace}}</td><td>{{.Service}}</td><td>{{.Name}}</td><td>{{printf "%.6f" .Seconds}}</td><td>{{if .Count}}{{.Count}}{{end}}</td><td>{{range .Attrs}}{{.Key}}={{if .Str}}{{.Str}}{{else if .Int}}{{.Int}}{{else}}{{.Num}}{{end}} {{end}}</td></tr>
+{{end}}</table>
+{{end}}{{if .Metrics}}<h2>metrics</h2>
+<pre>{{.Metrics}}</pre>
+{{end}}</body>
+</html>
+`))
+
+// WriteDashboardHTML renders the dashboard page.
+func WriteDashboardHTML(w http.ResponseWriter, d DashboardData) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	dashboardTmpl.Execute(w, d)
+}
+
+// DashboardHandler serves a live dashboard, gathering fresh data per
+// request via fn.
+func DashboardHandler(fn func() DashboardData) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		WriteDashboardHTML(w, fn())
+	}
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// SpanWriter appends spans to a JSONL stream, one span per line. It is
+// the obs sibling of report.TraceWriter: buffered, mutex-guarded, and
+// counted. Use its Write as a Recorder sink.
+type SpanWriter struct {
+	mu    sync.Mutex
+	w     *bufio.Writer
+	c     io.Closer
+	count int
+}
+
+// NewSpanWriter wraps w. If w is also an io.Closer, Close closes it.
+func NewSpanWriter(w io.Writer) *SpanWriter {
+	sw := &SpanWriter{w: bufio.NewWriter(w)}
+	if c, ok := w.(io.Closer); ok {
+		sw.c = c
+	}
+	return sw
+}
+
+// OpenSpans creates (truncating) a span JSONL file at path.
+func OpenSpans(path string) (*SpanWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("open spans: %w", err)
+	}
+	return NewSpanWriter(f), nil
+}
+
+// Write appends one span line.
+func (w *SpanWriter) Write(sp Span) error {
+	b, err := json.Marshal(sp)
+	if err != nil {
+		return fmt.Errorf("marshal span: %w", err)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, err := w.w.Write(b); err != nil {
+		return err
+	}
+	if err := w.w.WriteByte('\n'); err != nil {
+		return err
+	}
+	w.count++
+	return nil
+}
+
+// Count returns the number of spans written.
+func (w *SpanWriter) Count() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.count
+}
+
+// Close flushes buffered lines and closes the underlying file, if any.
+func (w *SpanWriter) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	err := w.w.Flush()
+	if w.c != nil {
+		if cerr := w.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// ReadSpans decodes a span JSONL stream. It refuses records whose
+// schema differs from SchemaVersion — a span file from a different
+// build must be re-read by that build's tooling, not misinterpreted.
+func ReadSpans(r io.Reader) ([]Span, error) {
+	dec := json.NewDecoder(r)
+	var out []Span
+	for {
+		var sp Span
+		if err := dec.Decode(&sp); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("span record %d: %w", len(out), err)
+		}
+		if sp.Schema != SchemaVersion {
+			return nil, fmt.Errorf("span record %d: schema %d, want %d", len(out), sp.Schema, SchemaVersion)
+		}
+		out = append(out, sp)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/trace"
 )
 
 // recentTrials bounds the /trials ring buffer.
@@ -110,7 +111,8 @@ func (s *Server) Handler() http.Handler {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Header().Set("Content-Type", ContentTypeMetrics)
+	_ = WriteBuildInfoText(w, trace.SchemaVersion)
 	_ = WriteMetricsText(w, s.tel.Snapshot())
 }
 

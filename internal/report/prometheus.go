@@ -7,7 +7,26 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/version"
 )
+
+// ContentTypeMetrics is the Content-Type every llmfi /metrics endpoint
+// serves: Prometheus text exposition format 0.0.4.
+const ContentTypeMetrics = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteBuildInfoText emits the llmfi_build_info gauge shared by every
+// Prometheus surface (report, serve, fabric). Its labels pin the build:
+// version from internal/version — the single source of truth the fleet
+// handshake also compares — and the schema version of whatever record
+// stream that surface exports (trace, span, or wire schema).
+func WriteBuildInfoText(w io.Writer, schema int) error {
+	_, err := fmt.Fprintf(w,
+		"# HELP llmfi_build_info Build identity of this llmfi process.\n"+
+			"# TYPE llmfi_build_info gauge\n"+
+			"llmfi_build_info{version=%q,schema=\"%d\"} 1\n",
+		version.Version, schema)
+	return err
+}
 
 // WriteMetricsText renders a telemetry snapshot in the Prometheus text
 // exposition format (version 0.0.4): campaign gauges, outcome-class and

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"fmt"
 	"net/http/httptest"
 	"path/filepath"
 	"strings"
@@ -11,7 +12,23 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/trace"
+	"repro/internal/version"
 )
+
+// TestWriteBuildInfoText pins the exact shape of the build-identity
+// gauge every /metrics surface emits first.
+func TestWriteBuildInfoText(t *testing.T) {
+	var b strings.Builder
+	if err := WriteBuildInfoText(&b, 7); err != nil {
+		t.Fatal(err)
+	}
+	want := "# HELP llmfi_build_info Build identity of this llmfi process.\n" +
+		"# TYPE llmfi_build_info gauge\n" +
+		fmt.Sprintf("llmfi_build_info{version=%q,schema=\"7\"} 1\n", version.Version)
+	if b.String() != want {
+		t.Fatalf("WriteBuildInfoText:\n got %q\nwant %q", b.String(), want)
+	}
+}
 
 // promSnapshot is the fixed snapshot behind the golden exposition test.
 func promSnapshot() core.TelemetrySnapshot {
@@ -265,6 +282,15 @@ func TestServerEndpoints(t *testing.T) {
 		if !strings.Contains(body, name) {
 			t.Fatalf("/metrics missing %s", name)
 		}
+	}
+	// Every llmfi Prometheus surface leads with the build-identity gauge,
+	// labelled with the schema of the record stream it exports — here the
+	// trace schema.
+	if !strings.HasPrefix(body, "# HELP llmfi_build_info") {
+		t.Fatal("/metrics does not lead with llmfi_build_info")
+	}
+	if want := fmt.Sprintf("llmfi_build_info{version=%q,schema=\"%d\"} 1\n", version.Version, trace.SchemaVersion); !strings.Contains(body, want) {
+		t.Fatalf("/metrics missing %q", want)
 	}
 
 	// The pre-v1 path answers a permanent redirect to the versioned one.

@@ -27,6 +27,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/mitigate"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/outcome"
 	"repro/internal/prng"
 	"repro/internal/token"
@@ -87,6 +88,14 @@ type Config struct {
 	SLO time.Duration
 	// Inject, when non-nil, enables the live fault campaign.
 	Inject *InjectConfig
+	// Recorder, when non-nil and enabled, records per-request spans
+	// (queue wait, first token, decode) for sampled requests. Purely
+	// observational: tokens, outcomes, and fault sampling are
+	// bit-identical with recording on or off.
+	Recorder *obs.Recorder
+	// SlowLog bounds the ring of recent SLO-violating requests kept for
+	// the dashboard (default 64).
+	SlowLog int
 }
 
 // Request is one generate call.
@@ -105,6 +114,10 @@ type Request struct {
 	// Baseline, when non-nil, is the fault-free output of this request;
 	// campaign mode classifies the served output against it.
 	Baseline []int
+	// Trace is the caller's trace context (from a traceparent header).
+	// Invalid or zero means none; the engine starts a fresh trace when
+	// the request is sampled. Advisory only — it never affects results.
+	Trace obs.SpanContext
 }
 
 // Response is the outcome of one request. Err is nil on success;
@@ -127,7 +140,25 @@ type Response struct {
 	Outcome string
 	// Detected counts flagged ABFT checks.
 	Detected int
-	Err      error
+	// Trace is the root span context of this request's recorded trace
+	// (zero when the request was not sampled).
+	Trace obs.SpanContext
+	Err   error
+}
+
+// reqTiming carries a request's observability state: the sampled-trace
+// decision and context plus the phase timings the span exporter and the
+// TTFT histogram consume. Zero value = unsampled, no timings.
+type reqTiming struct {
+	sampled bool
+	root    obs.SpanContext
+	parent  string // incoming span ID when the trace was propagated in
+
+	enq       time.Time // when the request entered the admission queue
+	admitted  time.Time // when it took a batch row
+	queueWait time.Duration
+	ttft      time.Duration
+	hasTTFT   bool
 }
 
 // pending is a prefilled request waiting for a batch slot.
@@ -138,6 +169,7 @@ type pending struct {
 	st     *model.State
 	prefix []float32
 	site   *faults.Site
+	tm     reqTiming
 	resp   chan Response
 }
 
@@ -149,6 +181,7 @@ type flight struct {
 	inj     *faults.Injection
 	sf      *faults.StateFault
 	checker *abft.Checker
+	lastTok time.Time // last decode-step completion, for inter-token gaps
 }
 
 // Engine is the serving core. Create with NewEngine, start the
@@ -170,6 +203,55 @@ type Engine struct {
 	mu       sync.Mutex
 	draining bool
 	serial   sync.WaitGroup
+
+	slowMu   sync.Mutex
+	slow     []SlowRequest // ring, newest at slowNext-1
+	slowNext int
+}
+
+// SlowRequest is one SLO-violating request retained for the dashboard
+// and slow-request log: enough to find the full trace (Trace) and to
+// attribute the slowness (fault + detection annotations).
+type SlowRequest struct {
+	ID        string  `json:"id"`
+	Trace     string  `json:"trace,omitempty"`
+	LatencyMS float64 `json:"latency_ms"`
+	SLOMS     float64 `json:"slo_ms"`
+	Status    string  `json:"status"`
+	Injected  bool    `json:"injected,omitempty"`
+	Fired     bool    `json:"fired,omitempty"`
+	Site      string  `json:"site,omitempty"`
+	Surface   string  `json:"surface,omitempty"`
+	Outcome   string  `json:"outcome,omitempty"`
+	Detected  int     `json:"detected,omitempty"`
+}
+
+// noteSlow appends one entry to the slow-request ring.
+func (e *Engine) noteSlow(sr SlowRequest) {
+	e.slowMu.Lock()
+	defer e.slowMu.Unlock()
+	if len(e.slow) < e.cfg.SlowLog {
+		e.slow = append(e.slow, sr)
+		e.slowNext = len(e.slow) % e.cfg.SlowLog
+		return
+	}
+	e.slow[e.slowNext] = sr
+	e.slowNext = (e.slowNext + 1) % e.cfg.SlowLog
+}
+
+// SlowRequests returns the retained SLO violations, newest first.
+func (e *Engine) SlowRequests() []SlowRequest {
+	e.slowMu.Lock()
+	defer e.slowMu.Unlock()
+	out := make([]SlowRequest, 0, len(e.slow))
+	for i := 0; i < len(e.slow); i++ {
+		j := e.slowNext - 1 - i
+		if j < 0 {
+			j += len(e.slow)
+		}
+		out = append(out, e.slow[j])
+	}
+	return out
 }
 
 // NewEngine validates cfg and builds an engine. Run must be started
@@ -192,6 +274,9 @@ func NewEngine(cfg Config) (*Engine, error) {
 	}
 	if cfg.DefaultMaxNew > cfg.MaxNewCap {
 		cfg.DefaultMaxNew = cfg.MaxNewCap
+	}
+	if cfg.SlowLog <= 0 {
+		cfg.SlowLog = 64
 	}
 	e := &Engine{
 		cfg:   cfg,
@@ -222,6 +307,26 @@ func NewEngine(cfg Config) (*Engine, error) {
 
 // Metrics exposes the engine's serving counters.
 func (e *Engine) Metrics() *Metrics { return e.met }
+
+// Recorder exposes the engine's span recorder (nil when tracing is off;
+// obs.Recorder methods are nil-safe).
+func (e *Engine) Recorder() *obs.Recorder { return e.cfg.Recorder }
+
+// sampleTrace makes the per-request trace decision. The root context
+// continues the caller's propagated trace when one came in, otherwise
+// starts fresh.
+func (e *Engine) sampleTrace(req *Request) reqTiming {
+	var tm reqTiming
+	if !e.cfg.Recorder.SampleRoot() {
+		return tm
+	}
+	tm.sampled = true
+	tm.root = e.cfg.Recorder.Child(req.Trace)
+	if req.Trace.Valid() {
+		tm.parent = req.Trace.Span
+	}
+	return tm
+}
 
 // genSettings builds the per-request greedy-decode settings.
 func (e *Engine) genSettings(maxNew int) gen.Settings {
@@ -268,6 +373,7 @@ func (e *Engine) Submit(ctx context.Context, req Request) Response {
 	}
 	e.met.requestStarted()
 	defer e.met.requestDone()
+	tm := e.sampleTrace(&req)
 
 	if req.Deadline > 0 {
 		var cancel context.CancelFunc
@@ -294,13 +400,14 @@ func (e *Engine) Submit(ctx context.Context, req Request) Response {
 			return Response{ID: req.ID, Err: ErrDraining}
 		}
 		defer e.serial.Done()
-		return e.runSerial(ctx, req, *site, start)
+		return e.runSerial(ctx, req, *site, start, tm)
 	}
 
 	// Prefill here, concurrently with other submitters: the state is
 	// private and the shared weights are read-only on this path.
 	st := e.m.NewState()
 	logits := st.Prefill(req.Prompt)
+	tm.enq = time.Now()
 	p := &pending{
 		req:    req,
 		ctx:    ctx,
@@ -308,6 +415,7 @@ func (e *Engine) Submit(ctx context.Context, req Request) Response {
 		st:     st,
 		prefix: append([]float32(nil), logits...),
 		site:   site,
+		tm:     tm,
 		resp:   make(chan Response, 1),
 	}
 	select {
@@ -414,6 +522,17 @@ func (e *Engine) Run(ctx context.Context) error {
 		}
 		bt.Step(rows)
 
+		// One clock read covers the whole stacked step: each live flight
+		// produced one token, so the gap since its previous token is an
+		// inter-token latency sample.
+		stepAt := time.Now()
+		for _, f := range live {
+			if !f.lastTok.IsZero() {
+				e.met.observeInterToken(stepAt.Sub(f.lastTok))
+			}
+			f.lastTok = stepAt
+		}
+
 		keep = live[:0]
 		for _, f := range live {
 			tok, ok := f.stepper.Next(f.row.Logits, f.row.St.Pos, e.m.Cfg.MaxSeq)
@@ -467,6 +586,14 @@ func (e *Engine) admit(p *pending) *flight {
 		e.retire(f, nil)
 		return nil
 	}
+	// The first generated token materializes here, off the prefix
+	// logits: this is the request's TTFT.
+	p.tm.admitted = time.Now()
+	p.tm.queueWait = p.tm.admitted.Sub(p.tm.enq)
+	p.tm.ttft = p.tm.admitted.Sub(p.start)
+	p.tm.hasTTFT = true
+	e.met.observeTTFT(p.tm.ttft)
+	f.lastTok = p.tm.admitted
 	f.row.Tok = tok
 	return f
 }
@@ -514,18 +641,19 @@ func (e *Engine) armRow(f *flight) error {
 // retire finishes a flight: score, classify, record, respond.
 func (e *Engine) retire(f *flight, err error) {
 	res := f.stepper.Result()
-	resp := e.finish(f.p.req, f.p.start, res.Tokens, res.Steps, f.p.site, err)
+	fired := false
 	if f.inj != nil {
-		resp.Fired = f.inj.Fired
+		fired = f.inj.Fired
 		f.inj.Disarm()
 	} else if f.sf != nil {
-		resp.Fired = f.sf.Fired
+		fired = f.sf.Fired
 	}
+	detected := 0
 	if f.checker != nil {
-		resp.Detected = f.checker.Stats().Flagged
-		e.met.observeDetection(f.checker.Stats().Flagged)
+		detected = f.checker.Stats().Flagged
+		e.met.observeDetection(detected)
 	}
-	f.p.resp <- resp
+	f.p.resp <- e.finish(f.p.req, f.p.start, res.Tokens, res.Steps, f.p.site, err, fired, detected, f.p.tm)
 }
 
 // runSerial executes a weight-resident-fault request on a private
@@ -533,7 +661,7 @@ func (e *Engine) retire(f *flight, err error) {
 // decode with per-token cancellation checks, disarm. Sibling requests
 // never observe the flip — the clone privatizes the struck storage
 // before writing.
-func (e *Engine) runSerial(ctx context.Context, req Request, site faults.Site, start time.Time) Response {
+func (e *Engine) runSerial(ctx context.Context, req Request, site faults.Site, start time.Time, tm reqTiming) Response {
 	wm := e.m.CloneShared()
 	st := wm.NewState()
 	logits := st.Prefill(req.Prompt)
@@ -565,6 +693,15 @@ func (e *Engine) runSerial(ctx context.Context, req Request, site faults.Site, s
 
 	stepper := gen.NewStepper(e.genSettings(req.MaxNew))
 	tok, ok := stepper.Next(logits, st.Pos, wm.Cfg.MaxSeq)
+	last := time.Now()
+	if ok {
+		// Serial path has no queue: its first token lands right after
+		// prefill, so queue wait is zero and TTFT is prefill time.
+		tm.admitted = last
+		tm.ttft = last.Sub(start)
+		tm.hasTTFT = true
+		e.met.observeTTFT(tm.ttft)
+	}
 	var ctxErr error
 	for ok {
 		if err := ctx.Err(); err != nil {
@@ -572,27 +709,32 @@ func (e *Engine) runSerial(ctx context.Context, req Request, site faults.Site, s
 			break
 		}
 		logits = st.DecodeStep(tok)
+		stepAt := time.Now()
+		e.met.observeInterToken(stepAt.Sub(last))
+		last = stepAt
 		tok, ok = stepper.Next(logits, st.Pos, wm.Cfg.MaxSeq)
 	}
 	res := stepper.Result()
-	resp := e.finish(req, start, res.Tokens, res.Steps, &site, ctxErr)
-	resp.Fired = inj.Fired
+	detected := 0
 	if ck != nil {
-		resp.Detected = ck.Stats().Flagged
-		e.met.observeDetection(ck.Stats().Flagged)
+		detected = ck.Stats().Flagged
+		e.met.observeDetection(detected)
 	}
-	return resp
+	return e.finish(req, start, res.Tokens, res.Steps, &site, ctxErr, inj.Fired, detected, tm)
 }
 
-// finish assembles the Response and records the request's metrics.
-func (e *Engine) finish(req Request, start time.Time, tokens []int, steps int, site *faults.Site, err error) Response {
+// finish assembles the Response and records the request's metrics,
+// spans, and (when SLO-violating) the slow-request log entry.
+func (e *Engine) finish(req Request, start time.Time, tokens []int, steps int, site *faults.Site, err error, fired bool, detected int, tm reqTiming) Response {
 	latency := time.Since(start)
 	resp := Response{
-		ID:      req.ID,
-		Tokens:  tokens,
-		Steps:   steps,
-		Latency: latency,
-		Err:     err,
+		ID:       req.ID,
+		Tokens:   tokens,
+		Steps:    steps,
+		Latency:  latency,
+		Fired:    fired,
+		Detected: detected,
+		Err:      err,
 	}
 	if e.cfg.Vocab != nil {
 		resp.Text = e.cfg.Vocab.Decode(tokens)
@@ -618,10 +760,70 @@ func (e *Engine) finish(req Request, start time.Time, tokens []int, steps int, s
 		}
 	}
 	e.met.observeRequest(st, latency, len(tokens))
+	if tm.sampled {
+		resp.Trace = tm.root
+		e.recordRequestSpans(resp, st, start, latency, tm, steps)
+	}
 	if e.cfg.SLO > 0 && latency > e.cfg.SLO {
 		e.met.observeSLOViolation()
+		e.noteSlow(SlowRequest{
+			ID:        req.ID,
+			Trace:     tm.root.Trace,
+			LatencyMS: float64(latency) / float64(time.Millisecond),
+			SLOMS:     float64(e.cfg.SLO) / float64(time.Millisecond),
+			Status:    st.String(),
+			Injected:  resp.Injected,
+			Fired:     fired,
+			Site:      resp.Site,
+			Surface:   resp.Surface,
+			Outcome:   resp.Outcome,
+			Detected:  detected,
+		})
 	}
 	return resp
+}
+
+// recordRequestSpans emits the sampled request's span tree: a root
+// "request" span carrying the outcome annotations, plus queue_wait /
+// first_token / decode children when the request got that far.
+func (e *Engine) recordRequestSpans(resp Response, st reqStatus, start time.Time, latency time.Duration, tm reqTiming, steps int) {
+	rec := e.cfg.Recorder
+	attrs := []obs.Attr{
+		obs.Str("id", resp.ID),
+		obs.Str("status", st.String()),
+		obs.Int("tokens", int64(len(resp.Tokens))),
+		obs.Int("steps", int64(steps)),
+	}
+	if resp.Injected {
+		attrs = append(attrs,
+			obs.Str("site", resp.Site),
+			obs.Str("surface", resp.Surface),
+			obs.Int("fired", boolInt(resp.Fired)),
+			obs.Int("detected", int64(resp.Detected)))
+		if resp.Outcome != "" {
+			attrs = append(attrs, obs.Str("outcome", resp.Outcome))
+		}
+	}
+	rec.Record(obs.NewSpan(tm.root, tm.parent, "request", start, latency, attrs...))
+	if tm.hasTTFT {
+		if tm.queueWait > 0 {
+			rec.Record(obs.NewSpan(rec.Child(tm.root), tm.root.Span, "queue_wait",
+				tm.admitted.Add(-tm.queueWait), tm.queueWait))
+		}
+		rec.Record(obs.NewSpan(rec.Child(tm.root), tm.root.Span, "first_token",
+			start, tm.ttft))
+		sp := obs.NewSpan(rec.Child(tm.root), tm.root.Span, "decode",
+			tm.admitted, latency-tm.ttft)
+		sp.Count = steps
+		rec.Record(sp)
+	}
+}
+
+func boolInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // finishErr records a request that failed before reaching a batch row.

@@ -8,11 +8,14 @@ import (
 	"hash/fnv"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/token"
+	"repro/internal/version"
 )
 
 // maxRequestBody bounds the generate request payload.
@@ -152,14 +155,61 @@ func (e *Engine) limits() ParseLimits {
 }
 
 // Handler returns the serving HTTP surface: POST /api/v1/generate plus
-// /healthz and /metrics. The engine must have a Vocab.
+// /healthz, /metrics, and the /debug/fleet live dashboard. The engine
+// must have a Vocab.
 func (e *Engine) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc(report.APIVersion+"/generate", e.handleGenerate)
 	mux.HandleFunc("/healthz", e.handleHealthz)
 	mux.HandleFunc("/metrics", e.handleMetrics)
+	mux.HandleFunc("/debug/fleet", obs.DashboardHandler(e.dashboardData))
 	return mux
 }
+
+// dashboardData gathers the live serving view for /debug/fleet.
+func (e *Engine) dashboardData() obs.DashboardData {
+	s := e.met.Snapshot()
+	status := obs.DashboardSection{Title: "serving", Rows: [][2]string{
+		{"in flight", fmtI(s.InFlight)},
+		{"requests ok", fmtI(s.Requests[statusOK])},
+		{"tokens", fmtI(s.Tokens)},
+		{"slo violations", fmtI(s.SLOViolations)},
+		{"injected", fmtI(s.Injected)},
+		{"detected", fmtI(s.Detected)},
+	}}
+	slow := obs.DashboardSection{Title: "recent SLO violations (newest first)"}
+	for _, sr := range e.SlowRequests() {
+		detail := sr.Status
+		if sr.Injected {
+			detail += " site=" + sr.Site
+			if sr.Fired {
+				detail += " fired"
+			}
+			if sr.Outcome != "" {
+				detail += " outcome=" + sr.Outcome
+			}
+		}
+		if sr.Trace != "" {
+			detail += " trace=" + sr.Trace
+		}
+		slow.Rows = append(slow.Rows, [2]string{
+			sr.ID + " " + strconv.FormatFloat(sr.LatencyMS, 'f', 1, 64) + "ms",
+			detail,
+		})
+	}
+	var metrics strings.Builder
+	_ = report.WriteBuildInfoText(&metrics, obs.SchemaVersion)
+	_ = WriteMetricsText(&metrics, s)
+	return obs.DashboardData{
+		Title:    "llmfi serve",
+		Version:  version.Version,
+		Sections: []obs.DashboardSection{status, slow},
+		Metrics:  metrics.String(),
+		Spans:    e.cfg.Recorder.Recent(32),
+	}
+}
+
+func fmtI(v int64) string { return strconv.FormatInt(v, 10) }
 
 // handleGenerate runs one request through the engine.
 func (e *Engine) handleGenerate(w http.ResponseWriter, r *http.Request) {
@@ -181,7 +231,21 @@ func (e *Engine) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		report.WriteAPIError(w, rerr.Status, rerr.Code, rerr.Message)
 		return
 	}
+	// Trace context is advisory: malformed, missing, or foreign-version
+	// traceparent headers are silently ignored, never an error.
+	incoming, hasTP := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader))
+	if hasTP {
+		req.Trace = incoming
+	}
 	resp := e.Submit(r.Context(), req)
+	// Echo trace context back: the engine's root when this request was
+	// sampled (so the caller can find the server-side spans), otherwise
+	// the caller's own context, preserved round-trip.
+	if resp.Trace.Valid() {
+		w.Header().Set(obs.TraceparentHeader, resp.Trace.Traceparent())
+	} else if hasTP {
+		w.Header().Set(obs.TraceparentHeader, incoming.Traceparent())
+	}
 	if resp.Err != nil {
 		status, code := http.StatusServiceUnavailable, "draining"
 		switch {
@@ -226,6 +290,7 @@ func (e *Engine) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // handleMetrics exposes the serving metrics in Prometheus text format.
 func (e *Engine) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Header().Set("Content-Type", report.ContentTypeMetrics)
+	_ = report.WriteBuildInfoText(w, obs.SchemaVersion)
 	_ = WriteMetricsText(w, e.met.Snapshot())
 }

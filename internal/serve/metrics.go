@@ -74,6 +74,14 @@ type Metrics struct {
 	latCount   atomic.Int64
 	latSumNS   atomic.Int64
 
+	ttftBuckets [nLatencyBuckets + 1]atomic.Int64
+	ttftCount   atomic.Int64
+	ttftSumNS   atomic.Int64
+
+	itBuckets [nLatencyBuckets + 1]atomic.Int64
+	itCount   atomic.Int64
+	itSumNS   atomic.Int64
+
 	injected atomic.Int64
 	detected atomic.Int64
 	outcomes [3]atomic.Int64
@@ -85,22 +93,40 @@ func NewMetrics() *Metrics { return &Metrics{} }
 func (m *Metrics) requestStarted() { m.inFlight.Add(1) }
 func (m *Metrics) requestDone()    { m.inFlight.Add(-1) }
 
+// bucketIndex places a latency into the shared exponential bucket shape.
+func bucketIndex(latency time.Duration) int {
+	sec := latency.Seconds()
+	bounds := latencyBucketBounds()
+	for i, b := range bounds {
+		if sec <= b {
+			return i
+		}
+	}
+	return nLatencyBuckets // +Inf
+}
+
 // observeRequest records one finished request.
 func (m *Metrics) observeRequest(st reqStatus, latency time.Duration, tokens int) {
 	m.requests[st].Add(1)
 	m.tokens.Add(int64(tokens))
-	sec := latency.Seconds()
-	bounds := latencyBucketBounds()
-	idx := nLatencyBuckets // +Inf
-	for i, b := range bounds {
-		if sec <= b {
-			idx = i
-			break
-		}
-	}
-	m.latBuckets[idx].Add(1)
+	m.latBuckets[bucketIndex(latency)].Add(1)
 	m.latCount.Add(1)
 	m.latSumNS.Add(int64(latency))
+}
+
+// observeTTFT records one request's time to first token.
+func (m *Metrics) observeTTFT(d time.Duration) {
+	m.ttftBuckets[bucketIndex(d)].Add(1)
+	m.ttftCount.Add(1)
+	m.ttftSumNS.Add(int64(d))
+}
+
+// observeInterToken records one gap between consecutive decode tokens
+// of a request.
+func (m *Metrics) observeInterToken(d time.Duration) {
+	m.itBuckets[bucketIndex(d)].Add(1)
+	m.itCount.Add(1)
+	m.itSumNS.Add(int64(d))
 }
 
 // observeRejected records a request refused before it ran.
@@ -128,6 +154,12 @@ type MetricsSnapshot struct {
 	LatBuckets    [nLatencyBuckets + 1]int64
 	LatCount      int64
 	LatSum        float64 // seconds
+	TTFTBuckets   [nLatencyBuckets + 1]int64
+	TTFTCount     int64
+	TTFTSum       float64 // seconds
+	ITBuckets     [nLatencyBuckets + 1]int64
+	ITCount       int64
+	ITSum         float64 // seconds
 	Injected      int64
 	Detected      int64
 	Outcomes      [3]int64
@@ -147,6 +179,16 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 	}
 	s.LatCount = m.latCount.Load()
 	s.LatSum = time.Duration(m.latSumNS.Load()).Seconds()
+	for i := range s.TTFTBuckets {
+		s.TTFTBuckets[i] = m.ttftBuckets[i].Load()
+	}
+	s.TTFTCount = m.ttftCount.Load()
+	s.TTFTSum = time.Duration(m.ttftSumNS.Load()).Seconds()
+	for i := range s.ITBuckets {
+		s.ITBuckets[i] = m.itBuckets[i].Load()
+	}
+	s.ITCount = m.itCount.Load()
+	s.ITSum = time.Duration(m.itSumNS.Load()).Seconds()
 	s.Injected = m.injected.Load()
 	s.Detected = m.detected.Load()
 	for i := range s.Outcomes {
@@ -185,18 +227,26 @@ func WriteMetricsText(w io.Writer, s MetricsSnapshot) error {
 	p("# TYPE llmfi_serve_slo_violations_total counter\n")
 	p("llmfi_serve_slo_violations_total %d\n", s.SLOViolations)
 
-	p("# HELP llmfi_serve_request_latency_seconds End-to-end request latency.\n")
-	p("# TYPE llmfi_serve_request_latency_seconds histogram\n")
-	bounds := latencyBucketBounds()
-	var cum int64
-	for i, b := range bounds {
-		cum += s.LatBuckets[i]
-		p("llmfi_serve_request_latency_seconds_bucket{le=%q} %d\n", fv(b), cum)
+	hist := func(name, help string, buckets [nLatencyBuckets + 1]int64, count int64, sum float64) {
+		p("# HELP %s %s\n", name, help)
+		p("# TYPE %s histogram\n", name)
+		bounds := latencyBucketBounds()
+		var cum int64
+		for i, b := range bounds {
+			cum += buckets[i]
+			p("%s_bucket{le=%q} %d\n", name, fv(b), cum)
+		}
+		cum += buckets[nLatencyBuckets]
+		p("%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+		p("%s_sum %s\n", name, fv(sum))
+		p("%s_count %d\n", name, count)
 	}
-	cum += s.LatBuckets[nLatencyBuckets]
-	p("llmfi_serve_request_latency_seconds_bucket{le=\"+Inf\"} %d\n", cum)
-	p("llmfi_serve_request_latency_seconds_sum %s\n", fv(s.LatSum))
-	p("llmfi_serve_request_latency_seconds_count %d\n", s.LatCount)
+	hist("llmfi_serve_request_latency_seconds", "End-to-end request latency.",
+		s.LatBuckets, s.LatCount, s.LatSum)
+	hist("llmfi_serve_ttft_seconds", "Time from request submission to first generated token.",
+		s.TTFTBuckets, s.TTFTCount, s.TTFTSum)
+	hist("llmfi_serve_inter_token_seconds", "Gap between consecutive decode tokens of a request.",
+		s.ITBuckets, s.ITCount, s.ITSum)
 
 	p("# HELP llmfi_serve_injected_total Requests served with an armed fault.\n")
 	p("# TYPE llmfi_serve_injected_total counter\n")

@@ -30,6 +30,11 @@ func TestMetricsGoldenExposition(t *testing.T) {
 	m.observeDetection(3)
 	m.observeOutcome(outcome.Masked)
 	m.observeOutcome(outcome.SDCDistorted)
+	m.observeTTFT(2 * time.Millisecond)
+	m.observeTTFT(30 * time.Millisecond)
+	m.observeInterToken(500 * time.Microsecond)
+	m.observeInterToken(500 * time.Microsecond)
+	m.observeInterToken(700 * time.Microsecond)
 
 	var b strings.Builder
 	if err := WriteMetricsText(&b, m.Snapshot()); err != nil {

@@ -1,0 +1,222 @@
+package serve_test
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/mitigate"
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/serve/loadgen"
+)
+
+// TestTracingGoldenEquivalence is the observational-by-construction
+// proof for the serving plane: the same injected campaign with tracing
+// off, sampled, and full produces byte-identical response sets. Spans
+// read timings; they never touch tokens, fault sites, or outcomes.
+func TestTracingGoldenEquivalence(t *testing.T) {
+	m, vocab := testServeModel(t)
+	prompts := testPrompts()
+
+	run := func(rec *obs.Recorder) *loadgen.Stats {
+		e, stop := startEngine(t, serve.Config{
+			Model: m, Vocab: vocab, Width: 4, Recorder: rec,
+			SLO: time.Nanosecond, // force the slow-request path too
+			Inject: &serve.InjectConfig{
+				Fault: faults.Comp1Bit, Surfaces: faults.Surfaces, Seed: 77,
+				ABFT: &serve.ABFTConfig{Policy: mitigate.PolicyDetect},
+			},
+		})
+		defer stop()
+		st, err := loadgen.Run(context.Background(), e, loadgen.Config{
+			Streams: 4, Requests: 12, Prompts: prompts, MaxNew: 8, Seed: 31,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	ref := run(nil)
+	for name, rec := range map[string]*obs.Recorder{
+		"sampled": obs.NewRecorder(obs.Config{Service: "serve", Sample: 4}),
+		"full":    obs.NewRecorder(obs.Config{Service: "serve", Sample: 1}),
+	} {
+		got := run(rec)
+		if len(got.Responses) != len(ref.Responses) {
+			t.Fatalf("%s: %d responses, want %d", name, len(got.Responses), len(ref.Responses))
+		}
+		for i := range ref.Responses {
+			a, b := ref.Responses[i], got.Responses[i]
+			if !reflect.DeepEqual(a.Tokens, b.Tokens) || a.Steps != b.Steps ||
+				a.Injected != b.Injected || a.Outcome != b.Outcome {
+				t.Fatalf("%s: response %d diverged under tracing:\noff  %+v\ntraced %+v", name, i, a, b)
+			}
+		}
+		if rec.Count() == 0 {
+			t.Fatalf("%s: recorder captured no spans", name)
+		}
+	}
+}
+
+// TestRequestSpans: a fully-sampled engine emits a root request span
+// with queue/first-token/decode children sharing one trace.
+func TestRequestSpans(t *testing.T) {
+	m, vocab := testServeModel(t)
+	rec := obs.NewRecorder(obs.Config{Service: "serve", Sample: 1})
+	e, stop := startEngine(t, serve.Config{Model: m, Vocab: vocab, Width: 2, Recorder: rec})
+	defer stop()
+
+	resp := e.Submit(context.Background(), serve.Request{ID: "sp1", Prompt: []int{5, 9, 17}, MaxNew: 6})
+	if resp.Err != nil {
+		t.Fatal(resp.Err)
+	}
+	if !resp.Trace.Valid() {
+		t.Fatalf("sampled response carries no trace context: %+v", resp.Trace)
+	}
+	stop()
+
+	spans := rec.Recent(0)
+	byName := map[string]obs.Span{}
+	for _, sp := range spans {
+		if sp.Trace == resp.Trace.Trace {
+			byName[sp.Name] = sp
+		}
+	}
+	root, ok := byName["request"]
+	if !ok {
+		t.Fatalf("no request root span; got %v", byName)
+	}
+	if root.ID != resp.Trace.Span {
+		t.Fatalf("root span ID %s != response trace span %s", root.ID, resp.Trace.Span)
+	}
+	for _, child := range []string{"first_token", "decode"} {
+		sp, ok := byName[child]
+		if !ok {
+			t.Fatalf("missing %s child span; got %v", child, byName)
+		}
+		if sp.Parent != root.ID {
+			t.Fatalf("%s span parent %s, want root %s", child, sp.Parent, root.ID)
+		}
+	}
+	if byName["decode"].Count == 0 {
+		t.Fatal("decode span carries no step count")
+	}
+}
+
+// TestHandlerTraceparent pins the wire contract: malformed or foreign
+// traceparent headers are ignored (200, no error envelope, no echo of
+// garbage), a valid one is continued — the response's traceparent
+// carries the same trace ID.
+func TestHandlerTraceparent(t *testing.T) {
+	m, vocab := testServeModel(t)
+	rec := obs.NewRecorder(obs.Config{Service: "serve", Sample: 1})
+	e, stop := startEngine(t, serve.Config{Model: m, Vocab: vocab, Recorder: rec})
+	defer stop()
+	h := e.Handler()
+
+	post := func(tp string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest(http.MethodPost, "/api/v1/generate",
+			strings.NewReader(`{"id":"tp","prompt":"w05 w09","max_tokens":4}`))
+		req.Header.Set("Content-Type", "application/json")
+		if tp != "" {
+			req.Header.Set(obs.TraceparentHeader, tp)
+		}
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		return w
+	}
+
+	// Malformed headers must never fail the request.
+	for _, bad := range []string{
+		"zz-not-a-traceparent",
+		"00-00000000000000000000000000000000-0000000000000000-01",
+		"01-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",
+		strings.Repeat("0", 55),
+	} {
+		w := post(bad)
+		if w.Code != http.StatusOK {
+			t.Fatalf("traceparent %q: status %d, want 200 (malformed headers are ignored)", bad, w.Code)
+		}
+	}
+
+	// A valid context is continued: same trace ID on the response header.
+	in := obs.SpanContext{Trace: "0af7651916cd43dd8448eb211c80319c", Span: "b7ad6b7169203331"}
+	w := post(in.Traceparent())
+	if w.Code != http.StatusOK {
+		t.Fatalf("valid traceparent: status %d", w.Code)
+	}
+	got, ok := obs.ParseTraceparent(w.Header().Get(obs.TraceparentHeader))
+	if !ok {
+		t.Fatalf("response carries no parseable traceparent (header %q)", w.Header().Get(obs.TraceparentHeader))
+	}
+	if got.Trace != in.Trace {
+		t.Fatalf("response trace %s, want continuation of %s", got.Trace, in.Trace)
+	}
+	if got.Span == in.Span {
+		t.Fatal("response echoed the caller's span ID instead of minting its own")
+	}
+}
+
+// TestServeMetricsSurface: /metrics leads with llmfi_build_info and
+// includes the serving-depth histograms; /debug/fleet renders.
+func TestServeMetricsSurface(t *testing.T) {
+	m, vocab := testServeModel(t)
+	rec := obs.NewRecorder(obs.Config{Service: "serve", Sample: 1})
+	e, stop := startEngine(t, serve.Config{Model: m, Vocab: vocab, Recorder: rec, SLO: time.Nanosecond})
+	defer stop()
+	if resp := e.Submit(context.Background(), serve.Request{ID: "m1", Prompt: []int{5, 9}, MaxNew: 4}); resp.Err != nil {
+		t.Fatal(resp.Err)
+	}
+	h := e.Handler()
+
+	get := func(path string) *httptest.ResponseRecorder {
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, path, nil))
+		return w
+	}
+
+	mw := get("/metrics")
+	if mw.Code != http.StatusOK {
+		t.Fatalf("/metrics: status %d", mw.Code)
+	}
+	body := mw.Body.String()
+	for _, want := range []string{
+		"llmfi_build_info{version=",
+		`schema="` + "1" + `"} 1`,
+		"llmfi_serve_ttft_seconds_bucket",
+		"llmfi_serve_inter_token_seconds_bucket",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if !strings.HasPrefix(body, "# HELP llmfi_build_info") {
+		t.Error("/metrics does not lead with llmfi_build_info")
+	}
+
+	dw := get("/debug/fleet")
+	if dw.Code != http.StatusOK {
+		t.Fatalf("/debug/fleet: status %d", dw.Code)
+	}
+	for _, want := range []string{"<html", "serving", "llmfi_build_info"} {
+		if !strings.Contains(dw.Body.String(), want) {
+			t.Errorf("/debug/fleet missing %q", want)
+		}
+	}
+
+	// The SLO-violation slow log carries the trace ID annotation.
+	slow := e.SlowRequests()
+	if len(slow) == 0 {
+		t.Fatal("no slow requests recorded under a 1ns SLO")
+	}
+	if slow[0].Trace == "" {
+		t.Errorf("slow request lacks a trace ID: %+v", slow[0])
+	}
+}

@@ -1,0 +1,165 @@
+package serve_test
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/numerics"
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/serve/loadgen"
+	"repro/internal/tasks"
+	"repro/internal/trace"
+)
+
+// TestEmitObsBenchJSON measures the observability plane's cost on both
+// execution planes: a fault-injection campaign (core.Runner with a span
+// observer) and the batched serving path (engine with a recorder), each
+// with tracing off / sampled every 16th root / every root. Per-arm
+// wall-clock and overhead vs the off arm go to BENCH_7.json; the paper
+// claim pinned here is that sampled tracing stays within 5% of off.
+// Gated behind BENCH7_JSON_OUT so it only runs from `make bench`.
+func TestEmitObsBenchJSON(t *testing.T) {
+	out := os.Getenv("BENCH7_JSON_OUT")
+	if out == "" {
+		t.Skip("set BENCH7_JSON_OUT to emit the observability benchmark JSON")
+	}
+
+	type arm struct {
+		Seconds     float64 `json:"seconds"`
+		Spans       int64   `json:"spans"`
+		OverheadPct float64 `json:"overhead_pct"`
+	}
+
+	// Best-of-5 wall clock: the claim is about the plane's intrinsic
+	// cost, not scheduler noise, and the minimum is the stable estimator.
+	bestOf := func(f func() int64) arm {
+		best := arm{Seconds: -1}
+		for i := 0; i < 5; i++ {
+			start := time.Now()
+			spans := f()
+			s := time.Since(start).Seconds()
+			if best.Seconds < 0 || s < best.Seconds {
+				best = arm{Seconds: s, Spans: spans}
+			}
+		}
+		return best
+	}
+
+	// Campaign plane: the same observer wiring cmd/llmfi uses.
+	campaign := func() core.Campaign {
+		vocab := tasks.GeneralVocab()
+		cfg := model.StandardConfig("obsbench", vocab.Size(), numerics.BF16)
+		m := model.MustBuild(model.Spec{Config: cfg, Family: model.QwenS, Seed: 21})
+		suite := tasks.NewSelfRefSuite("obsbench", 4, 2, 16, 6, []metrics.Kind{metrics.KindBLEU})
+		return core.New(m, suite, faults.Comp2Bit, 192, 17, core.WithWorkers(2))
+	}
+	runCampaign := func(sample int) int64 {
+		var ropts []core.RunnerOption
+		rec := obs.NewRecorder(obs.Config{Service: "campaign", Sample: sample})
+		if rec.Enabled() {
+			root := rec.StartTrace()
+			ropts = append(ropts, core.WithSpanObserver(func(index int, spans []trace.Span, busy time.Duration) {
+				if !rec.SampleRoot() {
+					return
+				}
+				attrs := make([]obs.Attr, 0, len(spans)+1)
+				attrs = append(attrs, obs.Int("index", int64(index)))
+				for _, ps := range spans {
+					attrs = append(attrs, obs.Num(string(ps.Phase)+"_s", ps.Seconds))
+				}
+				rec.Record(obs.NewSpan(rec.Child(root), root.Span, "trial",
+					time.Now().Add(-busy), busy, attrs...))
+			}))
+		}
+		if _, err := core.NewRunner(campaign(), ropts...).Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		return int64(rec.Count())
+	}
+
+	// Serving plane: batched engine under loadgen, tracing via Recorder.
+	m, vocab := testServeModel(t)
+	prompts := testPrompts()
+	const (
+		streams  = 4
+		requests = 256
+		maxNew   = 12
+	)
+	runServe := func(sample int) int64 {
+		rec := obs.NewRecorder(obs.Config{Service: "serve", Sample: sample})
+		e, stop := startEngine(t, serve.Config{Model: m, Vocab: vocab, Width: streams, Recorder: rec})
+		defer stop()
+		if _, err := loadgen.Run(context.Background(), e, loadgen.Config{
+			Streams: streams, Requests: requests, Prompts: prompts, MaxNew: maxNew, Seed: 900,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		stop()
+		return int64(rec.Count())
+	}
+
+	overhead := func(a, off arm) arm {
+		if off.Seconds > 0 {
+			a.OverheadPct = (a.Seconds - off.Seconds) / off.Seconds * 100
+		}
+		return a
+	}
+
+	type plane struct {
+		Off     arm `json:"off"`
+		Sampled arm `json:"sampled_16"`
+		Full    arm `json:"full"`
+	}
+	measure := func(run func(sample int) int64) plane {
+		run(0) // warmup
+		off := bestOf(func() int64 { return run(0) })
+		return plane{
+			Off:     off,
+			Sampled: overhead(bestOf(func() int64 { return run(16) }), off),
+			Full:    overhead(bestOf(func() int64 { return run(1) }), off),
+		}
+	}
+
+	report := struct {
+		Workload string `json:"workload"`
+		Campaign plane  `json:"campaign"`
+		Serve    plane  `json:"serve"`
+	}{
+		Workload: "observability overhead: spans off vs sampled(16) vs full, campaign + batched serving",
+		Campaign: measure(runCampaign),
+		Serve:    measure(runServe),
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("campaign: off=%.3fs sampled=%+.2f%% full=%+.2f%%; serve: off=%.3fs sampled=%+.2f%% full=%+.2f%%",
+		report.Campaign.Off.Seconds, report.Campaign.Sampled.OverheadPct, report.Campaign.Full.OverheadPct,
+		report.Serve.Off.Seconds, report.Serve.Sampled.OverheadPct, report.Serve.Full.OverheadPct)
+
+	// The acceptance line: sampled tracing costs at most 5% on either
+	// plane, and the sampled arms actually recorded spans.
+	for name, p := range map[string]plane{"campaign": report.Campaign, "serve": report.Serve} {
+		if p.Sampled.OverheadPct > 5.0 {
+			t.Errorf("%s: sampled tracing overhead %.2f%% exceeds the 5%% budget", name, p.Sampled.OverheadPct)
+		}
+		if p.Sampled.Spans == 0 || p.Full.Spans == 0 {
+			t.Errorf("%s: traced arms recorded no spans (sampled=%d full=%d)", name, p.Sampled.Spans, p.Full.Spans)
+		}
+		if p.Off.Spans != 0 {
+			t.Errorf("%s: off arm recorded %d spans", name, p.Off.Spans)
+		}
+	}
+}

@@ -9,4 +9,4 @@ package version
 // Version identifies the llmfi runtime release. Bump it whenever a
 // change could alter campaign results (sampling, decoding, scoring,
 // classification); fleets must run one version end to end.
-const Version = "0.7.0"
+const Version = "0.8.0"
