@@ -15,8 +15,11 @@ vet:
 
 ## lint: the repo's invariant analyzers (cmd/llmfi-vet): determinism,
 ## hook purity, copy-on-write weight discipline, float64 checksum math,
-## context-first cancellation. Suppress individual findings with
-## //llmfi:allow <analyzer> <reason>.
+## context-first cancellation, lock discipline (guardedby), atomic
+## access consistency (atomicmix), goroutine lifecycle (golife), and
+## wire-schema hygiene (wireschema). Suppress individual findings with
+## //llmfi:allow <analyzer> <reason>; audit the suppression budget with
+## `go run ./cmd/llmfi-vet -suppressions ./...`.
 lint:
 	$(GO) run ./cmd/llmfi-vet ./...
 
@@ -32,6 +35,9 @@ race:
 		-run '^Test(Runner|Trace|Resume|Checkpoint|Batched)' ./internal/core/
 	GORACE=halt_on_error=1 $(GO) test -race -count=1 \
 		-run '^Test(Serve|Handler|Loadgen)' ./internal/serve/...
+	GORACE=halt_on_error=1 $(GO) test -race -count=1 \
+		-run '^Test(FanIn|Recorder|SpanWriter|FleetTrace|LeaseTrace)' \
+		./internal/fabric/ ./internal/obs/
 
 ## bench: the campaign throughput benchmarks (Figure reproductions live
 ## in bench_test.go at the repo root), plus the machine-readable runtime

@@ -2,7 +2,9 @@
 // (internal/lint) over the given packages and exits non-zero on
 // findings. It is the static half of the methodology's correctness
 // story: determinism, hook purity, copy-on-write weight discipline,
-// float64 checksum math, and context-first cancellation are enforced
+// float64 checksum math, context-first cancellation, lock discipline
+// (guardedby), atomic/plain access consistency (atomicmix), goroutine
+// lifecycle (golife), and wire-schema drift (wireschema) are enforced
 // before a campaign ever runs.
 //
 // Usage:
@@ -13,6 +15,9 @@
 // Findings print as file:line:col: [analyzer] message. Suppress a
 // finding with //llmfi:allow <analyzer> <reason> on the offending line
 // or the line directly above it; the reason is mandatory.
+// -suppressions lists every allow in scope with its reason — the
+// audited suppression budget in one command — and exits 1 if any allow
+// is malformed.
 //
 // Exit codes: 0 no findings, 1 findings, 2 usage or load failure.
 package main
@@ -35,6 +40,7 @@ func run(args []string) int {
 	list := fs.Bool("list", false, "list analyzers and exit")
 	names := fs.String("run", "", "comma-separated analyzer subset (default: all)")
 	verbose := fs.Bool("v", false, "also report honored suppressions")
+	supp := fs.Bool("suppressions", false, "list every //llmfi:allow with file:line, analyzer, and reason; exit 1 on malformed allows")
 	dir := fs.String("C", ".", "directory to resolve packages from")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -60,6 +66,20 @@ func run(args []string) int {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "llmfi-vet:", err)
 		return 2
+	}
+	if *supp {
+		allows, problems := lint.Audit(pkgs, analyzers)
+		for _, a := range allows {
+			fmt.Printf("%s:%d: [%s] %s\n", a.Pos.Filename, a.Pos.Line, a.Analyzer, a.Reason)
+		}
+		for _, d := range problems {
+			fmt.Println(d)
+		}
+		if n := len(problems); n > 0 {
+			fmt.Fprintf(os.Stderr, "llmfi-vet: %d malformed //llmfi:allow annotation(s)\n", n)
+			return 1
+		}
+		return 0
 	}
 	res := lint.Run(pkgs, analyzers)
 	for _, d := range res.Findings {

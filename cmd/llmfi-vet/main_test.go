@@ -1,10 +1,33 @@
 package main
 
 import (
+	"bytes"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
+
+// captureStdout runs fn with os.Stdout redirected and returns what it
+// printed.
+func captureStdout(t *testing.T, fn func()) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	fn()
+	w.Close()
+	var buf bytes.Buffer
+	if _, err := io.Copy(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
 
 // writeModule materializes a synthetic mini-module in a temp dir.
 func writeModule(t *testing.T, files map[string]string) string {
@@ -72,6 +95,94 @@ func TestExitCodeUsage(t *testing.T) {
 	dir := writeModule(t, map[string]string{"go.mod": goMod})
 	if got := run([]string{"-C", dir, "./does/not/exist"}); got != 2 {
 		t.Fatalf("exit code = %d, want 2 (load failure)", got)
+	}
+}
+
+func TestUnknownRunNameListsValid(t *testing.T) {
+	// The usage error must name the bad analyzer and list the valid ones,
+	// so a typo is a one-round-trip fix.
+	msg := captureStderr(t, func() {
+		if got := run([]string{"-run", "guardedbby"}); got != 2 {
+			t.Fatalf("exit code = %d, want 2", got)
+		}
+	})
+	if !strings.Contains(msg, "unknown analyzer guardedbby") {
+		t.Errorf("stderr %q does not name the unknown analyzer", msg)
+	}
+	for _, name := range []string{"guardedby", "atomicmix", "golife", "wireschema", "determinism"} {
+		if !strings.Contains(msg, name) {
+			t.Errorf("stderr %q does not list valid analyzer %s", msg, name)
+		}
+	}
+}
+
+// captureStderr runs fn with os.Stderr redirected and returns what it
+// printed.
+func captureStderr(t *testing.T, fn func()) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stderr
+	os.Stderr = w
+	defer func() { os.Stderr = old }()
+	fn()
+	w.Close()
+	var buf bytes.Buffer
+	if _, err := io.Copy(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestSuppressionsListing(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": goMod,
+		"internal/core/clock.go": `package core
+
+import "time"
+
+func Stamp() time.Time {
+	return time.Now() //llmfi:allow determinism telemetry stamp only
+}
+`,
+	})
+	var code int
+	out := captureStdout(t, func() {
+		code = run([]string{"-C", dir, "-suppressions", "./..."})
+	})
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0 (well-formed allows)", code)
+	}
+	if !strings.Contains(out, "clock.go:6:") ||
+		!strings.Contains(out, "[determinism]") ||
+		!strings.Contains(out, "telemetry stamp only") {
+		t.Errorf("suppressions listing missing file:line/analyzer/reason:\n%s", out)
+	}
+}
+
+func TestSuppressionsMalformed(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": goMod,
+		"internal/core/clock.go": `package core
+
+import "time"
+
+func Stamp() time.Time {
+	return time.Now() //llmfi:allow determinism
+}
+`,
+	})
+	var code int
+	out := captureStdout(t, func() {
+		code = run([]string{"-C", dir, "-suppressions", "./..."})
+	})
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (malformed allow)", code)
+	}
+	if !strings.Contains(out, "needs a reason") {
+		t.Errorf("malformed allow not surfaced in listing:\n%s", out)
 	}
 }
 

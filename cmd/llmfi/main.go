@@ -358,7 +358,7 @@ func main() {
 			log.Fatal(err)
 		}
 		hs := &http.Server{Handler: srv.Handler()}
-		go hs.Serve(ln)
+		go hs.Serve(ln) //llmfi:allow golife listener lifetime is owned by the deferred hs.Close, not a ctx
 		defer hs.Close()
 		fmt.Fprintf(os.Stderr, "llmfi: serving /metrics /healthz /api/v1/trials /debug/pprof on http://%s\n", ln.Addr())
 	}
@@ -459,7 +459,7 @@ func runCoordinator(ctx context.Context, c core.Campaign, addr, ckptPath string,
 		log.Fatal(err)
 	}
 	hs := &http.Server{Handler: co.Handler()}
-	go hs.Serve(ln)
+	go hs.Serve(ln) //llmfi:allow golife listener lifetime is owned by the deferred hs.Close, not a ctx
 	defer hs.Close()
 	go co.RunScrapes(ctx)
 	fmt.Fprintf(os.Stderr, "llmfi: coordinating %d trials on http://%s (join with -worker; dashboard at /debug/fleet)\n", c.Trials, ln.Addr())
@@ -520,7 +520,7 @@ func runWorker(ctx context.Context, c core.Campaign, url, name, httpAddr string,
 	}
 	if ln != nil {
 		hs := &http.Server{Handler: wk.Handler()}
-		go hs.Serve(ln)
+		go hs.Serve(ln) //llmfi:allow golife listener lifetime is owned by the deferred hs.Close, not a ctx
 		defer hs.Close()
 		fmt.Fprintf(os.Stderr, "llmfi: worker metrics on %s/metrics\n", cfg.HTTPAddr)
 	}
@@ -550,7 +550,7 @@ func runServe(ctx context.Context, m *model.Model, suite *tasks.Suite, addr stri
 		log.Fatal(err)
 	}
 	hs := &http.Server{Handler: e.Handler()}
-	go hs.Serve(ln)
+	go hs.Serve(ln) //llmfi:allow golife listener lifetime is owned by the deferred hs.Close, not a ctx
 	defer hs.Close()
 	mode := "clean"
 	if inj != nil {

@@ -96,24 +96,24 @@ type Coordinator struct {
 	now func() time.Time
 
 	mu         sync.Mutex
-	state      []trialState
-	trials     []core.Trial
-	done       int
-	leases     map[uint64]*leaseRec
-	workers    map[string]*workerRec
-	nextLease  uint64
-	nextWorker int
-	reissued   int
-	duplicates int
-	scan       int // lowest possibly-pending index (lease-grant cursor)
-	start      time.Time
-	sinceCkpt  int
-	finished   chan struct{}
-	restored   int
+	state      []trialState          //llmfi:guardedby mu
+	trials     []core.Trial          //llmfi:guardedby mu
+	done       int                   //llmfi:guardedby mu
+	leases     map[uint64]*leaseRec  //llmfi:guardedby mu
+	workers    map[string]*workerRec //llmfi:guardedby mu
+	nextLease  uint64                //llmfi:guardedby mu
+	nextWorker int                   //llmfi:guardedby mu
+	reissued   int                   //llmfi:guardedby mu
+	duplicates int                   //llmfi:guardedby mu
+	scan       int                   //llmfi:guardedby mu — lowest possibly-pending index (lease-grant cursor)
+	start      time.Time             //llmfi:guardedby mu
+	sinceCkpt  int                   //llmfi:guardedby mu
+	finished   chan struct{}         // closed under mu, received lock-free (Finished)
+	restored   int                   //llmfi:guardedby mu
 
 	fan      *obs.FanIn
 	root     obs.SpanContext // campaign trace root (zero when untraced)
-	stitched int             // result submissions carrying lease trace context
+	stitched int             //llmfi:guardedby mu — result submissions carrying lease trace context
 }
 
 // NewCoordinator validates the campaign, restores a checkpoint when one
@@ -182,6 +182,11 @@ func (co *Coordinator) restore(path string) error {
 	if err := ck.Matches(co.cfg.Campaign); err != nil {
 		return err
 	}
+	// Only NewCoordinator calls restore, before the coordinator is
+	// published, so the lock is uncontended — but holding it keeps the
+	// guardedby invariant uniformly true instead of special-cased.
+	co.mu.Lock()
+	defer co.mu.Unlock()
 	for i, t := range ck.Indices {
 		if t < 0 || t >= len(co.state) || co.state[t] == stateDone {
 			continue
@@ -457,10 +462,14 @@ func (co *Coordinator) handleResults(w http.ResponseWriter, r *http.Request) {
 	if hasTP {
 		w.Header().Set(obs.TraceparentHeader, incoming.Traceparent())
 	}
+	// Validate against the immutable campaign config, not co.state: the
+	// index space is fixed at construction, and this keeps the
+	// pre-lock validation off the mu-guarded fields.
+	total := co.cfg.Campaign.Trials
 	for _, tr := range req.Trials {
-		if tr.Index < 0 || tr.Index >= len(co.state) {
+		if tr.Index < 0 || tr.Index >= total {
 			report.WriteAPIError(w, http.StatusBadRequest, "index_out_of_range",
-				fmt.Sprintf("trial index %d outside [0, %d)", tr.Index, len(co.state)))
+				fmt.Sprintf("trial index %d outside [0, %d)", tr.Index, total))
 			return
 		}
 	}

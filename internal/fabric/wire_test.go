@@ -1,0 +1,64 @@
+package fabric
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestWorkerStrictSuccessDecode pins the worker's wire discipline:
+// success payloads decode strictly (a coordinator speaking a newer
+// schema fails the decode instead of silently dropping fields), while
+// error envelopes stay tolerant — extra fields must not hide the typed
+// rejection.
+func TestWorkerStrictSuccessDecode(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/clean", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"worker_name":"w0"}`))
+	})
+	mux.HandleFunc("/drifted", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"worker_name":"w0","from_the_future":true}`))
+	})
+	mux.HandleFunc("/reject", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusConflict)
+		_, _ = w.Write([]byte(`{"error":{"status":409,"code":"fingerprint_mismatch",` +
+			`"message":"campaigns diverge","envelope_extra":1}}`))
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	wk := &Worker{cfg: WorkerConfig{
+		Coordinator: ts.URL, Client: ts.Client(),
+		Logf: func(string, ...any) {},
+	}}
+	var resp struct {
+		Worker string `json:"worker_name"`
+	}
+	ctx := context.Background()
+
+	if err := wk.postOnce(ctx, "/clean", obs.SpanContext{}, []byte(`{}`), &resp); err != nil {
+		t.Fatalf("clean success payload rejected: %v", err)
+	}
+	if resp.Worker != "w0" {
+		t.Fatalf("Worker = %q, want w0", resp.Worker)
+	}
+
+	err := wk.postOnce(ctx, "/drifted", obs.SpanContext{}, []byte(`{}`), &resp)
+	if err == nil || !strings.Contains(err.Error(), "from_the_future") {
+		t.Fatalf("drifted success payload not rejected: %v", err)
+	}
+
+	err = wk.postOnce(ctx, "/reject", obs.SpanContext{}, []byte(`{}`), &resp)
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Code != "fingerprint_mismatch" || re.Status != http.StatusConflict {
+		t.Fatalf("tolerant envelope sniff broken: %v", err)
+	}
+}

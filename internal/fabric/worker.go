@@ -377,11 +377,16 @@ func (w *Worker) postOnce(ctx context.Context, path string, tp obs.SpanContext, 
 		return err
 	}
 	if hres.StatusCode != http.StatusOK {
+		// Deliberately tolerant sniff: the error body may be a typed
+		// envelope or proxy-generated plaintext; extra fields must not
+		// hide the error itself.
 		var env report.APIError
-		if json.Unmarshal(data, &env) == nil && env.Error.Code != "" {
+		if json.Unmarshal(data, &env) == nil && env.Error.Code != "" { //llmfi:allow wireschema error-envelope sniff is tolerant by design
 			return &RemoteError{Status: hres.StatusCode, Code: env.Error.Code, Message: env.Error.Message}
 		}
 		return &RemoteError{Status: hres.StatusCode, Code: "http_error", Message: strings.TrimSpace(string(data))}
 	}
-	return json.Unmarshal(data, resp)
+	// Success payloads are strict: a coordinator speaking a newer wire
+	// schema fails the decode instead of silently dropping fields.
+	return report.StrictUnmarshal(data, resp)
 }

@@ -1,0 +1,778 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// This file is the cross-package access-fact pass shared by the
+// concurrency analyzers. One walk over every loaded package records, for
+// each struct field of interest, where and how it is touched: plainly
+// read or written, operated on through sync/atomic, or copied as a
+// value. Fields are keyed by (package path, type name, field name)
+// strings rather than types.Object identity, because a field observed
+// through export data in an importing package is a different object than
+// the one in its defining package.
+//
+// The pass also resolves lock context. Fields annotated
+//
+//	//llmfi:guardedby <mu>
+//
+// (on the field's line or doc comment, naming a sibling sync.Mutex or
+// sync.RWMutex field) have every access checked against a conservative
+// dominance approximation: a lock counts as held if an x.mu.Lock() (or
+// RLock) statement precedes the access in the same or an enclosing
+// block with no intervening x.mu.Unlock(); defer x.mu.Unlock() keeps it
+// held to function end. Three escapes are recognized: accesses whose
+// root object is declared inside the enclosing function (pre-publication
+// construction), methods following the xxxLocked naming convention
+// (caller holds the receiver's lock), and function literals spawned via
+// `go` (which get an empty lock environment — locks held at the spawn
+// site do not protect the goroutine's body).
+
+// FieldKey names one struct field across package boundaries.
+type FieldKey struct {
+	Pkg   string // defining package's import path
+	Type  string // named struct type
+	Field string // field name
+}
+
+func (k FieldKey) String() string { return k.Pkg + "." + k.Type + "." + k.Field }
+
+// AccessKind classifies one field access.
+type AccessKind int
+
+const (
+	// AccessRead is a plain read of the field's value.
+	AccessRead AccessKind = iota
+	// AccessWrite is a plain write: assignment, ++/--, or address-taken.
+	AccessWrite
+	// AccessAtomicOp is a sync/atomic operation: the field's address
+	// passed to an atomic function, or a method call on an
+	// atomic.Int64-style field.
+	AccessAtomicOp
+	// AccessAtomicValue copies an atomic.Int64-style field as a plain
+	// value, silently forking its state.
+	AccessAtomicValue
+)
+
+func (k AccessKind) String() string {
+	switch k {
+	case AccessRead:
+		return "read"
+	case AccessWrite:
+		return "write"
+	case AccessAtomicOp:
+		return "atomic op"
+	default:
+		return "value copy"
+	}
+}
+
+// Access is one recorded field access.
+type Access struct {
+	Key  FieldKey
+	Pos  token.Position
+	Pkg  string // import path of the package containing the access site
+	Kind AccessKind
+	// Local marks accesses whose root object is declared inside the
+	// enclosing function: pre-publication construction, exempt from
+	// locking and atomicity discipline.
+	Local bool
+	// HeldExclusive and HeldShared report whether the field's guardedby
+	// mutex was held (via Lock / RLock) on a dominating path. Only
+	// meaningful for annotated fields.
+	HeldExclusive bool
+	HeldShared    bool
+}
+
+// Guard is one //llmfi:guardedby annotation.
+type Guard struct {
+	Key   FieldKey
+	Mutex string // sibling mutex field name
+	RW    bool   // guard is a sync.RWMutex
+	Pos   token.Position
+}
+
+// LockedCall is a call to a method following the xxxLocked naming
+// convention on a type that has guarded fields: the caller must already
+// hold one of the receiver's locks.
+type LockedCall struct {
+	Pos    token.Position
+	Pkg    string
+	Method string
+	Recv   FieldKey // Field empty: just (pkg, type)
+	// HeldAny: some lock rooted at the receiver is held at the call.
+	HeldAny bool
+	Local   bool
+}
+
+// GuardProblem is a malformed //llmfi:guardedby annotation.
+type GuardProblem struct {
+	Pkg string
+	Pos token.Position
+	Msg string
+}
+
+// Facts is the cross-package access-fact index.
+type Facts struct {
+	// Guards maps annotated fields to their guard.
+	Guards map[FieldKey]Guard
+	// AtomicTyped marks fields declared with a sync/atomic value type
+	// (atomic.Int64 and friends).
+	AtomicTyped map[FieldKey]bool
+	// Accesses collects the recorded accesses per field, in source order
+	// per package.
+	Accesses map[FieldKey][]Access
+	// LockedCalls are calls to xxxLocked-convention methods on types
+	// with guarded fields.
+	LockedCalls []LockedCall
+	// Problems are malformed guardedby annotations, reported by the
+	// guardedby analyzer in the owning package.
+	Problems []GuardProblem
+	// guardedTypes marks (pkg, type) pairs carrying >= 1 guard.
+	guardedTypes map[FieldKey]bool
+}
+
+// CollectFacts builds the access-fact index over every loaded package:
+// first the guardedby annotations (so access recording knows which
+// fields need lock context), then the accesses themselves.
+func CollectFacts(pkgs []*Package) *Facts {
+	f := &Facts{
+		Guards:       map[FieldKey]Guard{},
+		AtomicTyped:  map[FieldKey]bool{},
+		Accesses:     map[FieldKey][]Access{},
+		guardedTypes: map[FieldKey]bool{},
+	}
+	for _, pkg := range pkgs {
+		f.collectGuards(pkg)
+	}
+	for _, pkg := range pkgs {
+		f.collectAccesses(pkg)
+	}
+	return f
+}
+
+// guardAnnotation extracts the mutex name from a //llmfi:guardedby
+// comment group, or "" when the group carries none. found reports
+// whether the marker itself appeared (so a missing name is a problem,
+// not silence).
+func guardAnnotation(groups ...*ast.CommentGroup) (mutex string, pos token.Pos, found bool) {
+	for _, cg := range groups {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			if !strings.HasPrefix(text, "llmfi:guardedby") {
+				continue
+			}
+			fields := strings.Fields(strings.TrimPrefix(text, "llmfi:guardedby"))
+			if len(fields) == 0 {
+				return "", c.Pos(), true
+			}
+			return fields[0], c.Pos(), true
+		}
+	}
+	return "", token.NoPos, false
+}
+
+// fieldNames returns a struct field's effective names (embedded fields
+// answer to their type's base name).
+func fieldNames(field *ast.Field) []string {
+	if len(field.Names) > 0 {
+		names := make([]string, len(field.Names))
+		for i, n := range field.Names {
+			names[i] = n.Name
+		}
+		return names
+	}
+	t := field.Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.SelectorExpr:
+			return []string{x.Sel.Name}
+		case *ast.Ident:
+			return []string{x.Name}
+		default:
+			return nil
+		}
+	}
+}
+
+// collectGuards indexes pkg's //llmfi:guardedby annotations and records
+// problems for malformed ones.
+func (f *Facts) collectGuards(pkg *Package) {
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				f.collectStructGuards(pkg, ts.Name.Name, st)
+			}
+		}
+	}
+}
+
+func (f *Facts) collectStructGuards(pkg *Package, typeName string, st *ast.StructType) {
+	// Index sibling fields by name for mutex validation.
+	byName := map[string]*ast.Field{}
+	for _, field := range st.Fields.List {
+		for _, n := range fieldNames(field) {
+			byName[n] = field
+		}
+	}
+	for _, field := range st.Fields.List {
+		mutex, pos, found := guardAnnotation(field.Doc, field.Comment)
+		if !found {
+			continue
+		}
+		problem := func(format string, args ...any) {
+			f.Problems = append(f.Problems, GuardProblem{
+				Pkg: pkg.Path, Pos: pkg.Fset.Position(pos), Msg: fmt.Sprintf(format, args...),
+			})
+		}
+		if mutex == "" {
+			problem("//llmfi:guardedby needs a mutex field name")
+			continue
+		}
+		mf, ok := byName[mutex]
+		if !ok {
+			problem("//llmfi:guardedby %s: %s.%s has no field %q", mutex, pkg.Path, typeName, mutex)
+			continue
+		}
+		mt := pkg.Info.TypeOf(mf.Type)
+		if !typeNamed(mt, "Mutex", "RWMutex") {
+			problem("//llmfi:guardedby %s: field %q is %v, not a sync.Mutex or sync.RWMutex", mutex, mutex, mt)
+			continue
+		}
+		rw := typeNamed(mt, "RWMutex")
+		for _, n := range fieldNames(field) {
+			key := FieldKey{pkg.Path, typeName, n}
+			f.Guards[key] = Guard{Key: key, Mutex: mutex, RW: rw, Pos: pkg.Fset.Position(pos)}
+			f.guardedTypes[FieldKey{Pkg: pkg.Path, Type: typeName}] = true
+		}
+	}
+}
+
+// lockKind distinguishes exclusive from shared holds.
+type lockKind int
+
+const (
+	lockExcl lockKind = iota
+	lockShared
+)
+
+// lockID names one held lock: the root object plus the dot-joined
+// selector path from it to the mutex ("mu", "inner.mu").
+type lockID struct {
+	root types.Object
+	path string
+}
+
+type lockEnv map[lockID]lockKind
+
+func (e lockEnv) clone() lockEnv {
+	c := make(lockEnv, len(e))
+	for k, v := range e {
+		c[k] = v
+	}
+	return c
+}
+
+// accessWalker walks one function body with a lock environment.
+type accessWalker struct {
+	pkg   *Package
+	hp    *Pass // helper shell for util.go resolvers (never reports)
+	facts *Facts
+	// body is the outermost function body, the declaredWithin horizon
+	// for the pre-publication exemption.
+	body ast.Node
+	// recv is the receiver object when the function is a method.
+	recv types.Object
+	// locked: the function name ends in "Locked" (caller holds the
+	// receiver's lock by convention).
+	locked bool
+	// skip marks selector nodes already consumed as atomic operands or
+	// mutex references.
+	skip map[ast.Node]bool
+}
+
+// collectAccesses records every interesting field access in pkg.
+func (f *Facts) collectAccesses(pkg *Package) {
+	hp := &Pass{Package: pkg}
+	forEachFunc(pkg, func(decl *ast.FuncDecl, body *ast.BlockStmt) {
+		w := &accessWalker{
+			pkg: pkg, hp: hp, facts: f, body: body,
+			skip: map[ast.Node]bool{},
+		}
+		if decl.Recv != nil && len(decl.Recv.List) == 1 && len(decl.Recv.List[0].Names) == 1 {
+			w.recv = pkg.Info.Defs[decl.Recv.List[0].Names[0]]
+		}
+		w.locked = strings.HasSuffix(decl.Name.Name, "Locked")
+		w.stmts(body.List, lockEnv{})
+	})
+}
+
+// selectorPath renders e as a dot-joined field path from its root
+// identifier ("mu", "inner.mu"); ok is false when the chain passes
+// through anything but plain selectors.
+func selectorPath(e ast.Expr) (root *ast.Ident, path string, ok bool) {
+	var parts []string
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+				parts[i], parts[j] = parts[j], parts[i]
+			}
+			return x, strings.Join(parts, "."), true
+		case *ast.SelectorExpr:
+			parts = append(parts, x.Sel.Name)
+			e = x.X
+		default:
+			return nil, "", false
+		}
+	}
+}
+
+// joinPath appends a field name to a selector path.
+func joinPath(prefix, name string) string {
+	if prefix == "" {
+		return name
+	}
+	return prefix + "." + name
+}
+
+// lockCall decodes expr as x.<path>.Lock/RLock/Unlock/RUnlock() on a
+// sync mutex and returns the lock identity and operation name.
+func (w *accessWalker) lockCall(e ast.Expr) (id lockID, op string, ok bool) {
+	call, okc := e.(*ast.CallExpr)
+	if !okc {
+		return id, "", false
+	}
+	sel, oks := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !oks {
+		return id, "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return id, "", false
+	}
+	if !typeNamed(w.pkg.Info.TypeOf(sel.X), "Mutex", "RWMutex") {
+		return id, "", false
+	}
+	root, path, okp := selectorPath(sel.X)
+	if !okp {
+		return id, "", false
+	}
+	obj := w.hp.objOf(root)
+	if obj == nil {
+		return id, "", false
+	}
+	// The mutex reference itself is not a field access of interest.
+	w.markSkip(sel.X)
+	return lockID{root: obj, path: path}, sel.Sel.Name, true
+}
+
+// markSkip excludes a selector chain from access recording.
+func (w *accessWalker) markSkip(e ast.Expr) {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			w.skip[x] = true
+			e = x.X
+		default:
+			return
+		}
+	}
+}
+
+func (w *accessWalker) stmts(list []ast.Stmt, env lockEnv) {
+	for _, s := range list {
+		w.stmt(s, env)
+	}
+}
+
+func (w *accessWalker) stmt(s ast.Stmt, env lockEnv) {
+	switch st := s.(type) {
+	case nil:
+	case *ast.ExprStmt:
+		if id, op, ok := w.lockCall(st.X); ok {
+			switch op {
+			case "Lock":
+				env[id] = lockExcl
+			case "RLock":
+				env[id] = lockShared
+			case "Unlock", "RUnlock":
+				delete(env, id)
+			}
+			return
+		}
+		w.expr(st.X, env)
+	case *ast.DeferStmt:
+		if _, op, ok := w.lockCall(st.Call); ok {
+			// defer mu.Unlock(): the lock stays held to function end.
+			// defer mu.Lock() would be bizarre; ignore both ways.
+			_ = op
+			return
+		}
+		if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+			// Deferred closures run at return with whatever locks the
+			// straight-line body still holds; approximating with the
+			// current environment is conservative for Lock+defer pairs.
+			w.stmts(lit.Body.List, env.clone())
+		} else {
+			w.expr(st.Call.Fun, env)
+		}
+		for _, a := range st.Call.Args {
+			w.expr(a, env)
+		}
+	case *ast.GoStmt:
+		// Locks held at the spawn site do not protect the goroutine.
+		if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+			w.stmts(lit.Body.List, lockEnv{})
+		} else {
+			w.expr(st.Call.Fun, env)
+		}
+		for _, a := range st.Call.Args {
+			w.expr(a, env)
+		}
+	case *ast.AssignStmt:
+		for _, rhs := range st.Rhs {
+			w.expr(rhs, env)
+		}
+		for _, lhs := range st.Lhs {
+			w.writeExpr(lhs, env)
+		}
+	case *ast.IncDecStmt:
+		w.writeExpr(st.X, env)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v, env)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, r := range st.Results {
+			w.expr(r, env)
+		}
+	case *ast.SendStmt:
+		w.expr(st.Chan, env)
+		w.expr(st.Value, env)
+	case *ast.IfStmt:
+		w.stmt(st.Init, env)
+		w.expr(st.Cond, env)
+		w.stmts(st.Body.List, env.clone())
+		if st.Else != nil {
+			w.stmt(st.Else, env.clone())
+		}
+	case *ast.ForStmt:
+		w.stmt(st.Init, env)
+		w.expr(st.Cond, env)
+		inner := env.clone()
+		w.stmt(st.Post, inner)
+		w.stmts(st.Body.List, inner)
+	case *ast.RangeStmt:
+		w.expr(st.X, env)
+		w.stmts(st.Body.List, env.clone())
+	case *ast.BlockStmt:
+		w.stmts(st.List, env.clone())
+	case *ast.SwitchStmt:
+		w.stmt(st.Init, env)
+		w.expr(st.Tag, env)
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				inner := env.clone()
+				for _, e := range cc.List {
+					w.expr(e, inner)
+				}
+				w.stmts(cc.Body, inner)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		w.stmt(st.Init, env)
+		w.stmt(st.Assign, env)
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, env.clone())
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				inner := env.clone()
+				w.stmt(cc.Comm, inner)
+				w.stmts(cc.Body, inner)
+			}
+		}
+	case *ast.LabeledStmt:
+		w.stmt(st.Stmt, env)
+	}
+}
+
+// expr walks e in read context.
+func (w *accessWalker) expr(e ast.Expr, env lockEnv) {
+	switch x := e.(type) {
+	case nil:
+	case *ast.Ident, *ast.BasicLit:
+	case *ast.ParenExpr:
+		w.expr(x.X, env)
+	case *ast.SelectorExpr:
+		w.selector(x, AccessRead, env)
+	case *ast.CallExpr:
+		w.call(x, env)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			// &x.f: the address escapes; unless it feeds an atomic
+			// operation (handled in call()), treat it as a write.
+			if sel, ok := ast.Unparen(x.X).(*ast.SelectorExpr); ok {
+				w.selector(sel, AccessWrite, env)
+				return
+			}
+		}
+		w.expr(x.X, env)
+	case *ast.StarExpr:
+		w.expr(x.X, env)
+	case *ast.BinaryExpr:
+		w.expr(x.X, env)
+		w.expr(x.Y, env)
+	case *ast.IndexExpr:
+		w.expr(x.X, env)
+		w.expr(x.Index, env)
+	case *ast.IndexListExpr:
+		w.expr(x.X, env)
+		for _, i := range x.Indices {
+			w.expr(i, env)
+		}
+	case *ast.SliceExpr:
+		w.expr(x.X, env)
+		w.expr(x.Low, env)
+		w.expr(x.High, env)
+		w.expr(x.Max, env)
+	case *ast.TypeAssertExpr:
+		w.expr(x.X, env)
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				if _, isIdent := kv.Key.(*ast.Ident); !isIdent {
+					w.expr(kv.Key, env)
+				}
+				w.expr(kv.Value, env)
+				continue
+			}
+			w.expr(el, env)
+		}
+	case *ast.FuncLit:
+		// Literals outside go statements execute on the current
+		// goroutine (immediately, or synchronously via sort.Slice-style
+		// callbacks); they inherit the lock environment.
+		w.stmts(x.Body.List, env.clone())
+	case *ast.KeyValueExpr:
+		w.expr(x.Key, env)
+		w.expr(x.Value, env)
+	}
+}
+
+// writeExpr walks e in write context: the terminal field of the chain is
+// a write, everything feeding it a read.
+func (w *accessWalker) writeExpr(e ast.Expr, env lockEnv) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		w.selector(x, AccessWrite, env)
+	case *ast.IndexExpr:
+		// m[k] = v / s[i] = v mutate the container the field holds:
+		// still a write to the field's region.
+		w.writeExpr(x.X, env)
+		w.expr(x.Index, env)
+	case *ast.StarExpr:
+		w.expr(x.X, env)
+	default:
+		w.expr(e, env)
+	}
+}
+
+// call handles atomic-function operands, atomic method receivers, and
+// xxxLocked-convention call sites before walking the call generically.
+func (w *accessWalker) call(call *ast.CallExpr, env lockEnv) {
+	// sync/atomic functions: &x.f operands are atomic ops, not writes.
+	if f := w.hp.calleeFunc(call); f != nil && f.Pkg() != nil && f.Pkg().Path() == "sync/atomic" &&
+		f.Type().(*types.Signature).Recv() == nil {
+		for _, a := range call.Args {
+			if u, ok := ast.Unparen(a).(*ast.UnaryExpr); ok && u.Op == token.AND {
+				if sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr); ok {
+					w.selector(sel, AccessAtomicOp, env)
+					continue
+				}
+			}
+			w.expr(a, env)
+		}
+		return
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		// Method call on an atomic-typed field (possibly through an
+		// index: h.buckets[i].Add(1)): an atomic op on that field.
+		base := ast.Unparen(sel.X)
+		for {
+			if ix, ok := base.(*ast.IndexExpr); ok {
+				w.expr(ix.Index, env)
+				base = ast.Unparen(ix.X)
+				continue
+			}
+			break
+		}
+		if fsel, ok := base.(*ast.SelectorExpr); ok && w.atomicNamed(w.pkg.Info.TypeOf(fsel)) {
+			w.selector(fsel, AccessAtomicOp, env)
+			for _, a := range call.Args {
+				w.expr(a, env)
+			}
+			return
+		}
+		// xxxLocked convention: note the call site if the receiver's
+		// type has guarded fields.
+		if strings.HasSuffix(sel.Sel.Name, "Locked") {
+			w.lockedCall(call, sel, env)
+		}
+	}
+	w.expr(call.Fun, env)
+	for _, a := range call.Args {
+		w.expr(a, env)
+	}
+}
+
+// atomicNamed reports whether t's named base lives in sync/atomic.
+func (w *accessWalker) atomicNamed(t types.Type) bool {
+	n := namedBase(t)
+	return n != nil && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "sync/atomic"
+}
+
+// lockedCall records a call to an xxxLocked-convention method.
+func (w *accessWalker) lockedCall(call *ast.CallExpr, sel *ast.SelectorExpr, env lockEnv) {
+	named := namedBase(w.pkg.Info.TypeOf(sel.X))
+	if named == nil || named.Obj().Pkg() == nil {
+		return
+	}
+	tkey := FieldKey{Pkg: named.Obj().Pkg().Path(), Type: named.Obj().Name()}
+	if !w.facts.guardedTypes[tkey] {
+		return
+	}
+	root, _, ok := selectorPath(sel.X)
+	if !ok {
+		return
+	}
+	obj := w.hp.objOf(root)
+	if obj == nil {
+		return
+	}
+	heldAny := w.locked && w.recv != nil && obj == w.recv
+	for id := range env {
+		if id.root == obj {
+			heldAny = true
+		}
+	}
+	w.facts.LockedCalls = append(w.facts.LockedCalls, LockedCall{
+		Pos: w.pkg.Fset.Position(call.Pos()), Pkg: w.pkg.Path,
+		Method: sel.Sel.Name, Recv: tkey,
+		HeldAny: heldAny,
+		Local:   declaredWithin(obj, w.body),
+	})
+}
+
+// atomicEligible reports whether a field's type could be the target of a
+// sync/atomic function: the width-specific integer kinds.
+func atomicEligible(t types.Type) bool {
+	switch basicKind(t) {
+	case types.Int32, types.Int64, types.Uint32, types.Uint64, types.Uintptr:
+		return true
+	}
+	return false
+}
+
+// selector records a field access (if the selection is a field of
+// interest) and walks the rest of the chain in read context.
+func (w *accessWalker) selector(sel *ast.SelectorExpr, kind AccessKind, env lockEnv) {
+	defer func() {
+		// The chain below the accessed field is read, unless the base is
+		// a bare package qualifier.
+		if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+			if _, isPkg := w.hp.objOf(id).(*types.PkgName); isPkg {
+				return
+			}
+		}
+		w.expr(sel.X, env)
+	}()
+	if w.skip[sel] {
+		return
+	}
+	s, ok := w.pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal || len(s.Index()) != 1 {
+		return
+	}
+	named := namedBase(s.Recv())
+	if named == nil || named.Obj().Pkg() == nil {
+		return
+	}
+	key := FieldKey{Pkg: named.Obj().Pkg().Path(), Type: named.Obj().Name(), Field: sel.Sel.Name}
+
+	ftype := s.Obj().Type()
+	guard, guarded := w.facts.Guards[key]
+	isAtomicType := w.atomicNamed(ftype)
+	if isAtomicType {
+		w.facts.AtomicTyped[key] = true
+	}
+	if !guarded && !isAtomicType && !atomicEligible(ftype) {
+		return
+	}
+	if isAtomicType && kind == AccessRead {
+		// A plain-value use of an atomic box (not a method call, not an
+		// address) silently copies its state.
+		kind = AccessAtomicValue
+	}
+	if isAtomicType && kind == AccessWrite {
+		// &x.f on an atomic field keeps atomicity; the box is shared,
+		// not copied.
+		kind = AccessAtomicOp
+	}
+
+	root, prefix, okp := selectorPath(sel.X)
+	var rootObj types.Object
+	if okp {
+		rootObj = w.hp.objOf(root)
+	}
+	acc := Access{
+		Key: key, Pos: w.pkg.Fset.Position(sel.Sel.Pos()), Pkg: w.pkg.Path, Kind: kind,
+		Local: rootObj != nil && declaredWithin(rootObj, w.body),
+	}
+	if guarded && rootObj != nil {
+		if w.locked && w.recv != nil && rootObj == w.recv {
+			acc.HeldExclusive = true
+		}
+		if k, held := env[lockID{root: rootObj, path: joinPath(prefix, guard.Mutex)}]; held {
+			if k == lockExcl {
+				acc.HeldExclusive = true
+			} else {
+				acc.HeldShared = true
+			}
+		}
+	}
+	w.facts.Accesses[key] = append(w.facts.Accesses[key], acc)
+}

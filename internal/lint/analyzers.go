@@ -1,5 +1,7 @@
 package lint
 
+import "strings"
+
 // Analyzers returns the full analyzer suite in reporting order.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
@@ -8,6 +10,10 @@ func Analyzers() []*Analyzer {
 		AnalyzerCOWWrite,
 		AnalyzerChecksumWidth,
 		AnalyzerCtxFlow,
+		AnalyzerGuardedBy,
+		AnalyzerAtomicMix,
+		AnalyzerGoLife,
+		AnalyzerWireSchema,
 	}
 }
 
@@ -26,16 +32,24 @@ func ByName(names []string) ([]*Analyzer, error) {
 	for _, n := range names {
 		a, ok := index[n]
 		if !ok {
-			return nil, &UnknownAnalyzerError{Name: n}
+			known := make([]string, len(all))
+			for i, a := range all {
+				known[i] = a.Name
+			}
+			return nil, &UnknownAnalyzerError{Name: n, Known: known}
 		}
 		out = append(out, a)
 	}
 	return out, nil
 }
 
-// UnknownAnalyzerError reports a -run name that matches no analyzer.
-type UnknownAnalyzerError struct{ Name string }
+// UnknownAnalyzerError reports a -run name that matches no analyzer,
+// listing the valid names so a typo never silently runs nothing.
+type UnknownAnalyzerError struct {
+	Name  string
+	Known []string
+}
 
 func (e *UnknownAnalyzerError) Error() string {
-	return "unknown analyzer " + e.Name
+	return "unknown analyzer " + e.Name + " (valid: " + strings.Join(e.Known, ", ") + ")"
 }

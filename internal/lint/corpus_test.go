@@ -23,6 +23,10 @@ var corpusCases = []struct {
 	{"checksumwidth", "checksumwidth", true},
 	{"checksumwidth_abft", "checksumwidth", false},
 	{"ctxflow", "ctxflow", true},
+	{"guardedby", "guardedby", true},
+	{"atomicmix", "atomicmix", true},
+	{"golife", "golife", true},
+	{"wireschema", "wireschema", true},
 }
 
 // wantPattern is one expectation: a finding on file:line whose message

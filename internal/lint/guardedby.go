@@ -1,0 +1,62 @@
+package lint
+
+import "sort"
+
+// AnalyzerGuardedBy enforces //llmfi:guardedby field annotations: every
+// read or write of an annotated struct field must happen while the named
+// sibling mutex is held on a dominating path. Writes require the
+// exclusive lock; reads accept a read lock when the guard is a
+// sync.RWMutex. The pass recognizes defer mu.Unlock(), the xxxLocked
+// naming convention (the caller holds the receiver's lock — and call
+// sites of such methods are themselves checked), and pre-publication
+// construction (accesses through objects local to the enclosing
+// function). This is the static half of DESIGN.md §13–15's concurrency
+// story: the coordinator's lease table, the serve engine's drain state,
+// and the obs fan-in's per-worker series are annotated, so the invariant
+// "all mutations happen under mu" is machine-checked instead of relying
+// on the race detector happening to schedule the conflict.
+var AnalyzerGuardedBy = &Analyzer{
+	Name: "guardedby",
+	Doc:  "annotated struct fields must only be accessed with their named mutex held",
+	Run:  runGuardedBy,
+}
+
+func runGuardedBy(pass *Pass) {
+	facts := pass.Facts
+	if facts == nil {
+		return
+	}
+	for _, pr := range facts.Problems {
+		if pr.Pkg == pass.Path {
+			pass.reportAt(pr.Pos, "%s", pr.Msg)
+		}
+	}
+	keys := make([]FieldKey, 0, len(facts.Guards))
+	for key := range facts.Guards {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+	for _, key := range keys {
+		g := facts.Guards[key]
+		for _, a := range facts.Accesses[key] {
+			if a.Pkg != pass.Path || a.Local {
+				continue
+			}
+			switch {
+			case a.Kind == AccessWrite && !a.HeldExclusive:
+				pass.reportAt(a.Pos, "write to %s.%s (guarded by %s) without %s.Lock() held",
+					key.Type, key.Field, g.Mutex, g.Mutex)
+			case a.Kind != AccessWrite && !a.HeldExclusive && !a.HeldShared:
+				pass.reportAt(a.Pos, "read of %s.%s (guarded by %s) without %s held",
+					key.Type, key.Field, g.Mutex, g.Mutex)
+			}
+		}
+	}
+	for _, c := range facts.LockedCalls {
+		if c.Pkg != pass.Path || c.Local || c.HeldAny {
+			continue
+		}
+		pass.reportAt(c.Pos, "call to %s.%s without a lock held on the receiver (xxxLocked convention: caller holds the lock)",
+			c.Recv.Type, c.Method)
+	}
+}

@@ -1,8 +1,10 @@
 // Package lint is a standard-library-only static analysis framework
 // (go/parser + go/types, no golang.org/x/tools) that machine-checks the
 // repository's campaign invariants: deterministic execution, observational
-// hook purity, copy-on-write weight discipline, float64 checksum math, and
-// context-first cancellation. The cmd/llmfi-vet driver runs every analyzer
+// hook purity, copy-on-write weight discipline, float64 checksum math,
+// context-first cancellation, lock discipline (//llmfi:guardedby), atomic
+// access consistency, goroutine lifecycle, and wire-schema hygiene. The
+// cmd/llmfi-vet driver runs every analyzer
 // over the module and exits non-zero on findings, so the invariants that
 // make checkpoint/resume bit-identical (§3.3.4 seed fixing) and tracing
 // observational are enforced at review time rather than discovered by
@@ -83,14 +85,26 @@ func hasPathSuffix(path, suffix string) bool {
 // Pass hands one package to one analyzer.
 type Pass struct {
 	*Package
+	// Facts is the cross-package access-fact index shared by the
+	// concurrency analyzers (guardedby, atomicmix). It is computed once
+	// per Run over every loaded package, so an analyzer can relate a
+	// field's accesses in this package to annotations or atomic
+	// operations recorded in another.
+	Facts    *Facts
 	analyzer *Analyzer
 	sink     *[]Diagnostic
 }
 
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.reportAt(p.Fset.Position(pos), format, args...)
+}
+
+// reportAt records a finding at an already-resolved position (the
+// access-fact pass stores token.Position, not token.Pos).
+func (p *Pass) reportAt(pos token.Position, format string, args ...any) {
 	*p.sink = append(*p.sink, Diagnostic{
-		Pos:      p.Fset.Position(pos),
+		Pos:      pos,
 		Analyzer: p.analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
 	})
@@ -109,18 +123,25 @@ type Result struct {
 // Malformed annotations (missing reason, unknown analyzer) surface as
 // findings of the pseudo-analyzer "allow".
 func Run(pkgs []*Package, analyzers []*Analyzer) Result {
+	// Allow names are validated against the full suite, not just the
+	// analyzers selected for this run: a -run subset must not turn every
+	// other analyzer's legitimate allows into "unknown analyzer" noise.
 	known := map[string]bool{}
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
 	for _, a := range analyzers {
 		known[a.Name] = true
 	}
 	var res Result
 	var raw []Diagnostic
+	facts := CollectFacts(pkgs)
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
 			if !a.inScope(pkg) {
 				continue
 			}
-			pass := &Pass{Package: pkg, analyzer: a, sink: &raw}
+			pass := &Pass{Package: pkg, Facts: facts, analyzer: a, sink: &raw}
 			a.Run(pass)
 		}
 		res.Findings = append(res.Findings, pkg.allowProblems(known)...)
@@ -136,6 +157,35 @@ func Run(pkgs []*Package, analyzers []*Analyzer) Result {
 	sortDiagnostics(res.Findings)
 	sortDiagnostics(res.Suppressed)
 	return res
+}
+
+// Audit returns every well-formed //llmfi:allow across pkgs in
+// diagnostic order, plus findings for malformed or unknown-analyzer
+// annotations (validated against the given suite). It is the engine of
+// `llmfi-vet -suppressions`: the audited suppression budget in one list.
+func Audit(pkgs []*Package, analyzers []*Analyzer) (allows []Allow, problems []Diagnostic) {
+	// Same rationale as Run: validate against the full suite so a -run
+	// subset does not misreport other analyzers' allows as unknown.
+	known := map[string]bool{}
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	for _, pkg := range pkgs {
+		allows = append(allows, pkg.Allows()...)
+		problems = append(problems, pkg.allowProblems(known)...)
+	}
+	sort.Slice(allows, func(i, j int) bool {
+		a, b := allows[i].Pos, allows[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	sortDiagnostics(problems)
+	return allows, problems
 }
 
 // pkgByFile finds the package owning filename.

@@ -1,6 +1,9 @@
 package lint
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestHasPathSuffix(t *testing.T) {
 	cases := []struct {
@@ -26,8 +29,8 @@ func TestByName(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(all) != 5 {
-		t.Fatalf("expected 5 analyzers, got %d", len(all))
+	if len(all) != 9 {
+		t.Fatalf("expected 9 analyzers, got %d", len(all))
 	}
 	sub, err := ByName([]string{"cowwrite", "determinism"})
 	if err != nil {
@@ -36,8 +39,16 @@ func TestByName(t *testing.T) {
 	if len(sub) != 2 || sub[0].Name != "cowwrite" || sub[1].Name != "determinism" {
 		t.Fatalf("unexpected subset: %+v", sub)
 	}
-	if _, err := ByName([]string{"nope"}); err == nil {
+	_, err = ByName([]string{"nope"})
+	if err == nil {
 		t.Fatal("expected error for unknown analyzer")
+	}
+	// The error names the valid analyzers so a typo never silently runs
+	// nothing.
+	for _, name := range []string{"determinism", "guardedby", "atomicmix", "golife", "wireschema"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("unknown-analyzer error %q does not list %q", err, name)
+		}
 	}
 }
 

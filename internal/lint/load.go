@@ -32,8 +32,12 @@ type Package struct {
 
 	// fileSet indexes the package's file names for diagnostic routing.
 	fileSet map[string]bool
-	// allows indexes well-formed //llmfi:allow annotations by file:line.
-	allows map[allowKey]bool
+	// allows indexes well-formed //llmfi:allow annotations by file:line,
+	// mapping to the audited reason text.
+	allows map[allowKey]string
+	// allowList is every well-formed allow in source order, for the
+	// -suppressions audit listing.
+	allowList []Allow
 	// badAllows are malformed or unknown-analyzer annotations.
 	badAllows []badAllow
 	// scoped marks analyzers opted in via //llmfi:scope.
@@ -52,11 +56,26 @@ type badAllow struct {
 	problem  string
 }
 
+// Allow is one well-formed //llmfi:allow annotation: the audited
+// suppression budget is the list of these across the module.
+type Allow struct {
+	Pos      token.Position
+	Analyzer string
+	Reason   string
+}
+
+// Allows returns the package's well-formed allow annotations in source
+// order.
+func (p *Package) Allows() []Allow { return p.allowList }
+
 // allowed reports whether d is silenced by an annotation on its line or
 // the line directly above.
 func (p *Package) allowed(d Diagnostic) bool {
-	return p.allows[allowKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] ||
-		p.allows[allowKey{d.Pos.Filename, d.Pos.Line - 1, d.Analyzer}]
+	if _, ok := p.allows[allowKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}]; ok {
+		return true
+	}
+	_, ok := p.allows[allowKey{d.Pos.Filename, d.Pos.Line - 1, d.Analyzer}]
+	return ok
 }
 
 // allowProblems renders the package's malformed annotations as findings
@@ -96,7 +115,9 @@ func (p *Package) indexComments(f *ast.File) {
 					p.badAllows = append(p.badAllows, badAllow{pos: pos, analyzer: fields[0],
 						problem: fmt.Sprintf("//llmfi:allow %s needs a reason", fields[0])})
 				default:
-					p.allows[allowKey{pos.Filename, pos.Line, fields[0]}] = true
+					reason := strings.Join(fields[1:], " ")
+					p.allows[allowKey{pos.Filename, pos.Line, fields[0]}] = reason
+					p.allowList = append(p.allowList, Allow{Pos: pos, Analyzer: fields[0], Reason: reason})
 					// Still validate the analyzer name (typos would
 					// otherwise silently suppress nothing).
 					p.badAllows = append(p.badAllows, badAllow{pos: pos, analyzer: fields[0]})
@@ -265,7 +286,7 @@ func check(fset *token.FileSet, imp types.Importer, path, dir string, files []st
 	pkg := &Package{
 		Path: path, Dir: dir, Fset: fset,
 		fileSet: map[string]bool{},
-		allows:  map[allowKey]bool{},
+		allows:  map[allowKey]string{},
 		scoped:  map[string]bool{},
 	}
 	for _, fn := range files {

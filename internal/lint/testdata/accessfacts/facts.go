@@ -1,0 +1,86 @@
+// Package accessfacts is the framework-test fixture for the shared
+// access-fact pass (CollectFacts). It is loaded by access_test.go and
+// asserted on directly — recorded guards, access kinds, lock-held
+// resolution, locality — rather than through analyzer diagnostics like
+// the corpus packages.
+package accessfacts
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// table mixes every fact class the pass records: a Mutex-guarded field,
+// an RWMutex-guarded field, an old-style atomic int, and an atomic box.
+type table struct {
+	mu    sync.Mutex
+	count int //llmfi:guardedby mu
+
+	rw    sync.RWMutex
+	gauge int //llmfi:guardedby rw
+
+	hits  int64 // accessed via atomic.AddInt64
+	boxed atomic.Int64
+}
+
+func (t *table) lockedWrite() {
+	t.mu.Lock()
+	t.count++ // marker: locked-write
+	t.mu.Unlock()
+}
+
+func (t *table) deferredWrite() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.count = 1 // marker: deferred-write
+}
+
+func (t *table) bareWrite() {
+	t.count = 2 // marker: bare-write
+}
+
+func (t *table) sharedRead() int {
+	t.rw.RLock()
+	defer t.rw.RUnlock()
+	return t.gauge // marker: shared-read
+}
+
+func (t *table) bareRead() int {
+	return t.gauge // marker: bare-read
+}
+
+// newTable constructs pre-publication: the root object is function-local.
+func newTable() *table {
+	t := &table{}
+	t.count = 7 // marker: local-write
+	return t
+}
+
+func (t *table) bump() {
+	atomic.AddInt64(&t.hits, 1) // marker: atomic-op
+	t.boxed.Add(1)              // marker: box-op
+}
+
+func (t *table) tornRead() int64 {
+	return t.hits // marker: torn-read
+}
+
+func (t *table) forkBox() atomic.Int64 {
+	return t.boxed // marker: box-copy
+}
+
+// resetLocked follows the xxxLocked convention: the body's guarded
+// access is held by convention, and call sites are recorded.
+func (t *table) resetLocked() {
+	t.count = 0 // marker: convention-write
+}
+
+func (t *table) withLock() {
+	t.mu.Lock()
+	t.resetLocked() // marker: locked-call-held
+	t.mu.Unlock()
+}
+
+func (t *table) withoutLock() {
+	t.resetLocked() // marker: locked-call-bare
+}

@@ -1,0 +1,75 @@
+//llmfi:scope atomicmix
+
+// Package atomicmix is the linter corpus for the atomicmix analyzer: a
+// field accessed through sync/atomic anywhere may never be read or
+// written plainly, and atomic.Int64-style boxes may never be copied as
+// values.
+package atomicmix
+
+import "sync/atomic"
+
+// counters mirrors the metrics-registry shape that mixes old-style
+// atomic function calls with modern atomic boxes.
+type counters struct {
+	hits   int64 // accessed via atomic.AddInt64: plain access is a tear
+	misses int64 // never atomic: plain access is fine
+	boxed  atomic.Int64
+}
+
+// record is the sanctioned path.
+func (c *counters) record() {
+	atomic.AddInt64(&c.hits, 1)
+	c.boxed.Add(1)
+}
+
+// snapshot reads hits plainly beside the atomic writer: the torn-read
+// bug class.
+func (c *counters) snapshot() int64 {
+	return c.hits // want `plain read of counters.hits, which is accessed atomically`
+}
+
+// reset writes plainly.
+func (c *counters) reset() {
+	c.hits = 0 // want `plain write of counters.hits, which is accessed atomically`
+}
+
+// plainField is untouched by sync/atomic: plain access everywhere is
+// fine.
+func (c *counters) plainField() int64 {
+	c.misses++
+	return c.misses
+}
+
+// copyBox copies the atomic value, silently forking the counter.
+func (c *counters) copyBox() int64 {
+	b := c.boxed // want `copying it forks the counter`
+	return b.Load()
+}
+
+// loadBox is the sanctioned read of a box.
+func (c *counters) loadBox() int64 {
+	return c.boxed.Load()
+}
+
+// shareBox hands out the box by pointer: atomicity is preserved.
+func (c *counters) shareBox() *atomic.Int64 {
+	return &c.boxed
+}
+
+// newCounters constructs pre-publication: plain init through the local
+// object is exempt.
+func newCounters() *counters {
+	c := &counters{}
+	c.hits = 0
+	return c
+}
+
+// suppressed demonstrates an honored suppression.
+func (c *counters) suppressed() int64 {
+	return c.hits //llmfi:allow atomicmix corpus case: an honored suppression
+}
+
+// missingReason: the allow itself is a finding and suppresses nothing.
+func (c *counters) missingReason() int64 {
+	return c.hits /* want `needs a reason` `plain read of counters.hits` */ //llmfi:allow atomicmix
+}

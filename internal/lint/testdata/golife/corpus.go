@@ -1,0 +1,112 @@
+//llmfi:scope golife
+
+// Package golife is the linter corpus for the golife analyzer: every
+// spawned goroutine needs a visible termination story — a context, a
+// quit/work channel, a WaitGroup, or an audited allow.
+package golife
+
+import (
+	"context"
+	"sync"
+)
+
+func work(int) {}
+
+func runCtx(ctx context.Context) {}
+
+// fireAndForget has no termination story at all.
+func fireAndForget() {
+	go func() { // want `goroutine has no termination story`
+		for {
+			work(1)
+		}
+	}()
+}
+
+// namedNoCtx spawns a named callee without handing it a lifetime.
+func namedNoCtx() {
+	go leak() // want `goroutine calls leak without a context argument`
+}
+
+func leak() {
+	for {
+		work(2)
+	}
+}
+
+// ctxSelect consults ctx.Done: compliant.
+func ctxSelect(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				work(3)
+			}
+		}
+	}()
+}
+
+// namedWithCtx hands the callee a context: compliant.
+func namedWithCtx(ctx context.Context) {
+	go runCtx(ctx)
+}
+
+// quitChannel receives from a quit channel: compliant.
+func quitChannel(quit chan struct{}) {
+	go func() {
+		<-quit
+		work(4)
+	}()
+}
+
+// workChannel ranges a channel; closing it terminates the goroutine:
+// compliant.
+func workChannel(jobs chan int) {
+	go func() {
+		for j := range jobs {
+			work(j)
+		}
+	}()
+}
+
+// waitGroupTracked: wg.Add on the spawn site's previous line plus Done
+// in the body.
+func waitGroupTracked() {
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work(5)
+		}()
+	}
+	wg.Wait()
+}
+
+// closerGoroutine waits on the group on behalf of others: compliant.
+func closerGoroutine(wg *sync.WaitGroup, results chan int) {
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+}
+
+// suppressed demonstrates an honored suppression.
+func suppressed() {
+	go func() { //llmfi:allow golife corpus case: an honored suppression
+		for {
+			work(6)
+		}
+	}()
+}
+
+// missingReason: the allow itself is a finding and suppresses nothing.
+func missingReason() {
+	go func() { /* want `needs a reason` `goroutine has no termination story` */ //llmfi:allow golife
+		for {
+			work(7)
+		}
+	}()
+}

@@ -1,0 +1,124 @@
+//llmfi:scope guardedby
+
+// Package guardedby is the linter corpus for the guardedby analyzer:
+// fields annotated //llmfi:guardedby <mu> may only be touched with the
+// named mutex held on a dominating path.
+package guardedby
+
+import "sync"
+
+// registry mirrors the coordinator/fan-in shape: a mutex beside the
+// state it guards.
+type registry struct {
+	mu    sync.Mutex
+	count int            //llmfi:guardedby mu
+	byID  map[string]int //llmfi:guardedby mu
+
+	rw    sync.RWMutex
+	gauge int //llmfi:guardedby rw
+
+	ghost int /* want `has no field "nosuchmu"` */ //llmfi:guardedby nosuchmu
+
+	notAMutex int
+	wrong     int /* want `not a sync.Mutex` */ //llmfi:guardedby notAMutex
+}
+
+// lockedIncrement is the sanctioned pattern: Lock + defer Unlock.
+func (r *registry) lockedIncrement() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.count++
+	r.byID["x"] = r.count
+}
+
+// windowIncrement holds the lock in a window; the access after Unlock
+// is the violation.
+func (r *registry) windowIncrement() int {
+	r.mu.Lock()
+	r.count++
+	r.mu.Unlock()
+	return r.count // want `read of registry.count \(guarded by mu\) without mu held`
+}
+
+// bareWrite never takes the lock.
+func (r *registry) bareWrite() {
+	r.count = 0 // want `write to registry.count \(guarded by mu\) without mu.Lock\(\) held`
+}
+
+// mapMutation writes through the map without the lock.
+func (r *registry) mapMutation() {
+	r.byID["x"] = 1 // want `write to registry.byID \(guarded by mu\) without mu.Lock\(\) held`
+}
+
+// readUnderRLock: a shared lock satisfies reads of RWMutex-guarded
+// fields...
+func (r *registry) readUnderRLock() int {
+	r.rw.RLock()
+	defer r.rw.RUnlock()
+	return r.gauge
+}
+
+// ...but not writes.
+func (r *registry) writeUnderRLock() {
+	r.rw.RLock()
+	defer r.rw.RUnlock()
+	r.gauge++ // want `write to registry.gauge \(guarded by rw\) without rw.Lock\(\) held`
+}
+
+// resetLocked follows the xxxLocked convention: the caller holds mu.
+func (r *registry) resetLocked() {
+	r.count = 0
+	for k := range r.byID {
+		delete(r.byID, k)
+	}
+}
+
+// sweep calls the Locked helper correctly.
+func (r *registry) sweep() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.resetLocked()
+}
+
+// sweepWithoutLock calls the Locked helper bare: flagged.
+func (r *registry) sweepWithoutLock() {
+	r.resetLocked() // want `call to registry.resetLocked without a lock held`
+}
+
+// newRegistry constructs pre-publication: accesses through the local
+// object are exempt.
+func newRegistry() *registry {
+	r := &registry{byID: map[string]int{}}
+	r.count = 1
+	return r
+}
+
+// closureUnderLock: synchronously-invoked literals (sort.Slice-style
+// callbacks) inherit the lock environment.
+func (r *registry) closureUnderLock(each func(func())) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	each(func() { r.count++ })
+}
+
+// spawned goroutines do not inherit the spawn site's locks.
+func (r *registry) spawnLeak() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		r.count++ // want `write to registry.count \(guarded by mu\) without mu.Lock\(\) held`
+		close(done)
+	}()
+	<-done
+}
+
+// suppressed demonstrates an honored suppression.
+func (r *registry) suppressed() int {
+	return r.count //llmfi:allow guardedby corpus case: an honored suppression
+}
+
+// missingReason: the allow itself is a finding and suppresses nothing.
+func (r *registry) missingReason() int {
+	return r.count /* want `needs a reason` `read of registry.count` */ //llmfi:allow guardedby
+}

@@ -1,0 +1,108 @@
+//llmfi:scope wireschema
+
+// Package wireschema is the linter corpus for the wireschema analyzer:
+// wire structs use lower_snake json tags, wire bytes are decoded
+// strictly, Schema fields reference the SchemaVersion constant, and API
+// errors are typed — never http.Error plaintext.
+package wireschema
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+)
+
+// SchemaVersion is this corpus's wire schema constant.
+const SchemaVersion = 3
+
+// joinRequest is a well-formed wire struct.
+type joinRequest struct {
+	Schema   int    `json:"schema"`
+	Worker   string `json:"worker_name"`
+	Binary   string `json:"binary_version,omitempty"`
+	Internal int    `json:"-"`
+}
+
+// driftedResponse leaks Go casing onto the wire.
+type driftedResponse struct {
+	Schema  int    `json:"schema"`
+	Granted bool   `json:"Granted"`  // want `json tag "Granted" is not lower_snake`
+	LeaseID uint64 `json:"leaseID"`  // want `json tag "leaseID" is not lower_snake`
+	Camels  string `json:"so-kebab"` // want `json tag "so-kebab" is not lower_snake`
+}
+
+// decodeStrict is the sanctioned decode path.
+func decodeStrict(data []byte) (joinRequest, error) {
+	var req joinRequest
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	err := dec.Decode(&req)
+	return req, err
+}
+
+// decodeLoose binds a decoder but never disallows unknown fields.
+func decodeLoose(data []byte) (joinRequest, error) {
+	var req joinRequest
+	dec := json.NewDecoder(bytes.NewReader(data))
+	err := dec.Decode(&req) // want `Decode on a json.Decoder without DisallowUnknownFields`
+	return req, err
+}
+
+// decodeChained can never be strict.
+func decodeChained(data []byte) (joinRequest, error) {
+	var req joinRequest
+	err := json.NewDecoder(bytes.NewReader(data)).Decode(&req) // want `chained json.NewDecoder\(...\).Decode`
+	return req, err
+}
+
+// decodeUnmarshal uses the forbidden plain path.
+func decodeUnmarshal(data []byte) (joinRequest, error) {
+	var req joinRequest
+	err := json.Unmarshal(data, &req) // want `json.Unmarshal skips DisallowUnknownFields`
+	return req, err
+}
+
+// encodeConst is the sanctioned schema stamp.
+func encodeConst() joinRequest {
+	return joinRequest{Schema: SchemaVersion}
+}
+
+// encodeLiteral hard-codes the schema in a composite literal: encoder
+// and decoder can now drift.
+func encodeLiteral() joinRequest {
+	return joinRequest{Schema: 3} // want `Schema set from an integer literal`
+}
+
+// stampLiteral hard-codes it in an assignment.
+func stampLiteral(req *joinRequest) {
+	req.Schema = 3 // want `Schema assigned an integer literal`
+}
+
+// checkLiteral compares against a literal.
+func checkLiteral(req joinRequest) bool {
+	return req.Schema != 3 // want `Schema compared against an integer literal`
+}
+
+// checkConst compares against the constant: sanctioned.
+func checkConst(req joinRequest) bool {
+	return req.Schema == SchemaVersion
+}
+
+// plaintextError answers with untyped plaintext.
+func plaintextError(w http.ResponseWriter) {
+	http.Error(w, "bad request", http.StatusBadRequest) // want `http.Error sends untyped plaintext`
+}
+
+// suppressed demonstrates an honored suppression (a deliberately
+// tolerant error-envelope sniff).
+func suppressed(data []byte) bool {
+	var env struct {
+		Error string `json:"error"`
+	}
+	return json.Unmarshal(data, &env) == nil //llmfi:allow wireschema corpus case: an honored suppression
+}
+
+// missingReason: the allow itself is a finding and suppresses nothing.
+func missingReason(data []byte, v any) error {
+	return json.Unmarshal(data, v) /* want `needs a reason` `json.Unmarshal skips` */ //llmfi:allow wireschema
+}

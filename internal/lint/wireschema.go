@@ -1,0 +1,181 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// AnalyzerWireSchema locks the wire contracts of the fabric, serve,
+// report, and obs HTTP/JSONL surfaces so schema drift can never ship
+// half-applied (the failure mode PR 9's SchemaVersion 1→2 bump was one
+// review away from). Four rules: (1) every json struct tag must be
+// lower_snake, so the wire never leaks Go casing; (2) wire bytes are
+// decoded strictly — json.Unmarshal is forbidden and every
+// json.NewDecoder must call DisallowUnknownFields before Decode, so a
+// peer speaking a newer schema fails loudly instead of silently dropping
+// fields; (3) a Schema field is always set from and compared against the
+// SchemaVersion constant, never an integer literal, so encoder and
+// decoder can't disagree; (4) API error responses flow through
+// report.WriteAPIError's typed codes, not http.Error plaintext.
+var AnalyzerWireSchema = &Analyzer{
+	Name: "wireschema",
+	Doc:  "wire structs use lower_snake json tags, strict decoders, and SchemaVersion constants",
+	Scope: []string{
+		"internal/fabric", "internal/serve", "internal/serve/loadgen",
+		"internal/report", "internal/obs",
+	},
+	Run: runWireSchema,
+}
+
+var lowerSnakeRE = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+func runWireSchema(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if st, ok := n.(*ast.StructType); ok {
+				checkJSONTags(pass, st)
+			}
+			return true
+		})
+	}
+	forEachFunc(pass.Package, func(decl *ast.FuncDecl, body *ast.BlockStmt) {
+		checkDecoders(pass, body)
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				if pass.isPkgFunc(x, "encoding/json", "Unmarshal") {
+					pass.Reportf(x.Pos(), "json.Unmarshal skips DisallowUnknownFields: decode wire bytes with a strict decoder (report.DecodeJSON or json.NewDecoder + DisallowUnknownFields)")
+				}
+				if pass.isPkgFunc(x, "net/http", "Error") {
+					pass.Reportf(x.Pos(), "http.Error sends untyped plaintext: use report.WriteAPIError with a typed error code")
+				}
+			case *ast.AssignStmt:
+				for i, lhs := range x.Lhs {
+					if i < len(x.Rhs) {
+						checkSchemaLiteral(pass, lhs, x.Rhs[i])
+					}
+				}
+			case *ast.KeyValueExpr:
+				if id, ok := x.Key.(*ast.Ident); ok && isSchemaName(id.Name) {
+					if isIntLiteral(x.Value) {
+						pass.Reportf(x.Value.Pos(), "%s set from an integer literal: reference the SchemaVersion constant so encoder and decoder can't drift", id.Name)
+					}
+				}
+			case *ast.BinaryExpr:
+				if x.Op == token.EQL || x.Op == token.NEQ {
+					checkSchemaCompare(pass, x.X, x.Y)
+					checkSchemaCompare(pass, x.Y, x.X)
+				}
+			}
+			return true
+		})
+	})
+}
+
+// checkJSONTags enforces lower_snake tag names on every json-tagged
+// struct field ("-" opts a field out of the wire).
+func checkJSONTags(pass *Pass, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		if field.Tag == nil {
+			continue
+		}
+		raw, err := strconv.Unquote(field.Tag.Value)
+		if err != nil {
+			continue
+		}
+		tag, ok := reflect.StructTag(raw).Lookup("json")
+		if !ok {
+			continue
+		}
+		name, _, _ := strings.Cut(tag, ",")
+		if name == "" || name == "-" {
+			continue
+		}
+		if !lowerSnakeRE.MatchString(name) {
+			pass.Reportf(field.Tag.Pos(), "json tag %q is not lower_snake: wire field names never leak Go casing", name)
+		}
+	}
+}
+
+// checkDecoders enforces DisallowUnknownFields on every json.Decoder
+// that Decodes within the function.
+func checkDecoders(pass *Pass, body *ast.BlockStmt) {
+	strict := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, recv := methodCall(call); name == "DisallowUnknownFields" && typeNamed(pass.typeOf(recv), "Decoder") {
+			if id := rootIdent(recv); id != nil {
+				if obj := pass.objOf(id); obj != nil {
+					strict[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, recv := methodCall(call)
+		if name != "Decode" || !typeNamed(pass.typeOf(recv), "Decoder") {
+			return true
+		}
+		// Only json.Decoder (gob/xml decoders have no unknown-field mode).
+		if nb := namedBase(pass.typeOf(recv)); nb == nil || nb.Obj().Pkg() == nil ||
+			nb.Obj().Pkg().Path() != "encoding/json" {
+			return true
+		}
+		if inner, ok := ast.Unparen(recv).(*ast.CallExpr); ok && pass.isPkgFunc(inner, "encoding/json", "NewDecoder") {
+			pass.Reportf(call.Pos(), "chained json.NewDecoder(...).Decode leaves unknown fields enabled: bind the decoder and call DisallowUnknownFields first")
+			return true
+		}
+		id := rootIdent(recv)
+		if id == nil {
+			return true
+		}
+		if obj := pass.objOf(id); obj != nil && !strict[obj] {
+			pass.Reportf(call.Pos(), "Decode on a json.Decoder without DisallowUnknownFields: a peer speaking a newer wire schema would be silently truncated")
+		}
+		return true
+	})
+}
+
+func isSchemaName(name string) bool {
+	return name == "Schema" || name == "SchemaVersion"
+}
+
+func isIntLiteral(e ast.Expr) bool {
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	return ok && lit.Kind == token.INT
+}
+
+// checkSchemaLiteral flags `x.Schema = 2`-style assignments.
+func checkSchemaLiteral(pass *Pass, lhs, rhs ast.Expr) {
+	sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+	if !ok || !isSchemaName(sel.Sel.Name) {
+		return
+	}
+	if isIntLiteral(rhs) {
+		pass.Reportf(rhs.Pos(), "%s assigned an integer literal: reference the SchemaVersion constant so encoder and decoder can't drift", sel.Sel.Name)
+	}
+}
+
+// checkSchemaCompare flags `x.Schema != 2`-style comparisons.
+func checkSchemaCompare(pass *Pass, side, other ast.Expr) {
+	sel, ok := ast.Unparen(side).(*ast.SelectorExpr)
+	if !ok || !isSchemaName(sel.Sel.Name) {
+		return
+	}
+	if isIntLiteral(other) {
+		pass.Reportf(other.Pos(), "%s compared against an integer literal: reference the SchemaVersion constant so encoder and decoder can't drift", sel.Sel.Name)
+	}
+}

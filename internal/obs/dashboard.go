@@ -69,7 +69,9 @@ func WriteDashboardHTML(w http.ResponseWriter, d DashboardData) {
 func DashboardHandler(fn func() DashboardData) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
-			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			// The dashboard is a browser-facing HTML surface, not part
+			// of the JSON API; plaintext 405 is the right shape here.
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed) //llmfi:allow wireschema HTML dashboard surface, not a JSON API endpoint
 			return
 		}
 		WriteDashboardHTML(w, fn())

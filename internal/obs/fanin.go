@@ -157,7 +157,7 @@ type FanIn struct {
 	client *http.Client
 
 	mu      sync.Mutex
-	workers map[string]*scrapeState
+	workers map[string]*scrapeState //llmfi:guardedby mu
 }
 
 // NewFanIn builds a FanIn scraping via client (nil for a 5s-timeout

@@ -161,6 +161,14 @@ func TestSpanWriterRoundTrip(t *testing.T) {
 	} else if !strings.Contains(err.Error(), "schema 99") {
 		t.Fatalf("schema refusal error unhelpful: %v", err)
 	}
+
+	// Unknown-field refusal: a span record carrying a key this reader
+	// doesn't know means a newer writer — refuse, don't drop.
+	drifted := strings.Replace(buf.String(), `"schema":1`, `"schema":1,"from_the_future":true`, 1)
+	if _, err := ReadSpans(strings.NewReader(drifted)); err == nil ||
+		!strings.Contains(err.Error(), "from_the_future") {
+		t.Fatalf("ReadSpans did not reject an unknown field: %v", err)
+	}
 }
 
 // TestChildContinuesTrace: children share the root's trace with fresh

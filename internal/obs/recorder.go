@@ -33,12 +33,12 @@ type Recorder struct {
 	sink    func(Span) error
 
 	mu      sync.Mutex
-	ring    []Span // capacity Recent, oldest overwritten
-	next    int    // next ring slot
-	filled  bool
-	roots   uint64 // roots offered to SampleRoot
-	count   int    // spans recorded
-	sinkErr error
+	ring    []Span //llmfi:guardedby mu — capacity Recent, oldest overwritten
+	next    int    //llmfi:guardedby mu — next ring slot
+	filled  bool   //llmfi:guardedby mu
+	roots   uint64 //llmfi:guardedby mu — roots offered to SampleRoot
+	count   int    //llmfi:guardedby mu — spans recorded
+	sinkErr error  //llmfi:guardedby mu
 }
 
 // NewRecorder builds a Recorder from cfg. A Sample of 0 yields a

@@ -14,9 +14,9 @@ import (
 // counted. Use its Write as a Recorder sink.
 type SpanWriter struct {
 	mu    sync.Mutex
-	w     *bufio.Writer
+	w     *bufio.Writer //llmfi:guardedby mu
 	c     io.Closer
-	count int
+	count int //llmfi:guardedby mu
 }
 
 // NewSpanWriter wraps w. If w is also an io.Closer, Close closes it.
@@ -77,9 +77,12 @@ func (w *SpanWriter) Close() error {
 
 // ReadSpans decodes a span JSONL stream. It refuses records whose
 // schema differs from SchemaVersion — a span file from a different
-// build must be re-read by that build's tooling, not misinterpreted.
+// build must be re-read by that build's tooling, not misinterpreted —
+// and rejects unknown fields for the same reason: extra keys mean the
+// file was written by a newer schema than this reader understands.
 func ReadSpans(r io.Reader) ([]Span, error) {
 	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
 	var out []Span
 	for {
 		var sp Span

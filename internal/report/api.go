@@ -1,6 +1,7 @@
 package report
 
 import (
+	"bytes"
 	"encoding/json"
 	"net/http"
 )
@@ -39,6 +40,17 @@ func WriteAPIError(w http.ResponseWriter, status int, code, msg string) {
 // error instead of silently-dropped fields.
 func DecodeJSON(r *http.Request, v any) error {
 	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// StrictUnmarshal is the []byte sibling of DecodeJSON: it unmarshals
+// wire bytes into v rejecting unknown fields, so clients of the fleet
+// API hold their servers to the same schema discipline the servers
+// apply to requests. (llmfi-vet's wireschema analyzer forbids plain
+// json.Unmarshal on these surfaces for exactly this reason.)
+func StrictUnmarshal(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
 	return dec.Decode(v)
 }

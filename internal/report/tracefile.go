@@ -96,9 +96,12 @@ func OpenTrace(path string, resuming bool) (f *os.File, appended bool, err error
 
 // ReadTraces decodes a JSONL trace stream back into records — the
 // round-trip counterpart of TraceWriter for analysis and tests. It
-// verifies each record's schema version.
+// verifies each record's schema version and rejects unknown fields:
+// extra keys mean the file was written by a newer schema than this
+// reader understands.
 func ReadTraces(r io.Reader) ([]trace.Record, error) {
 	dec := json.NewDecoder(bufio.NewReader(r))
+	dec.DisallowUnknownFields()
 	var recs []trace.Record
 	for {
 		var rec trace.Record

@@ -201,12 +201,12 @@ type Engine struct {
 	done  chan struct{}
 
 	mu       sync.Mutex
-	draining bool
+	draining bool //llmfi:guardedby mu
 	serial   sync.WaitGroup
 
 	slowMu   sync.Mutex
-	slow     []SlowRequest // ring, newest at slowNext-1
-	slowNext int
+	slow     []SlowRequest //llmfi:guardedby slowMu — ring, newest at slowNext-1
+	slowNext int           //llmfi:guardedby slowMu
 }
 
 // SlowRequest is one SLO-violating request retained for the dashboard

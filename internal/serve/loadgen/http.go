@@ -69,25 +69,32 @@ func (t *HTTPTarget) Submit(ctx context.Context, req serve.Request) serve.Respon
 		return fail(err)
 	}
 	if hres.StatusCode != http.StatusOK {
+		// Deliberately tolerant sniff: the error body may be a typed
+		// envelope or proxy plaintext; extra fields must not hide it.
 		var env report.APIError
-		if json.Unmarshal(data, &env) == nil && env.Error.Code != "" {
+		if json.Unmarshal(data, &env) == nil && env.Error.Code != "" { //llmfi:allow wireschema error-envelope sniff is tolerant by design
 			return fail(fmt.Errorf("loadgen: %s (%d): %s", env.Error.Code, hres.StatusCode, env.Error.Message))
 		}
 		return fail(fmt.Errorf("loadgen: status %d", hres.StatusCode))
 	}
+	// Strict decode of the success payload: this struct mirrors the
+	// server's wireGenerateResponse field-for-field (latency_ms included,
+	// even though the harness reports its own client-observed latency),
+	// so serve-side schema growth breaks the loadgen loudly.
 	var out struct {
-		ID       string `json:"id"`
-		Text     string `json:"text"`
-		Tokens   []int  `json:"tokens"`
-		Steps    int    `json:"steps"`
-		Injected bool   `json:"injected"`
-		Fired    bool   `json:"fired"`
-		Site     string `json:"site"`
-		Surface  string `json:"surface"`
-		Outcome  string `json:"outcome"`
-		Detected int    `json:"detected"`
+		ID        string  `json:"id"`
+		Text      string  `json:"text"`
+		Tokens    []int   `json:"tokens"`
+		Steps     int     `json:"steps"`
+		LatencyMS float64 `json:"latency_ms"`
+		Injected  bool    `json:"injected"`
+		Fired     bool    `json:"fired"`
+		Site      string  `json:"site"`
+		Surface   string  `json:"surface"`
+		Outcome   string  `json:"outcome"`
+		Detected  int     `json:"detected"`
 	}
-	if err := json.Unmarshal(data, &out); err != nil {
+	if err := report.StrictUnmarshal(data, &out); err != nil {
 		return fail(err)
 	}
 	return serve.Response{
